@@ -1,0 +1,22 @@
+//! Figure 2: DFSIO write/read throughput per node for the four systems.
+use bench::{banner, bench_settings};
+use octo_experiments::dfsio::figure2;
+
+fn main() {
+    banner(
+        "Figure 2: DFSIO average write/read throughput per node (MB/s)",
+        "HDFS ~87 write / ~130 read; OctopusFS ~135 write, 3.7x read until \
+         memory (~42GB) exhausts then drops; Octopus++ holds steady",
+    );
+    for report in figure2(&bench_settings()) {
+        println!("\n[{}]", report.scenario);
+        let fmt = |s: &[(f64, f64)]| {
+            s.iter()
+                .map(|(g, m)| format!("{g:>5.1}GB:{m:>6.1}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("  write: {}", fmt(&report.write));
+        println!("  read:  {}", fmt(&report.read));
+    }
+}

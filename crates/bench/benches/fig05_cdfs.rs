@@ -1,0 +1,28 @@
+//! Figure 5: CDFs of job data size, file size, and access frequency.
+use bench::{banner, bench_settings};
+use octo_experiments::workload_stats::figure5;
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Figure 5: workload CDFs",
+        "most jobs <128MB; file sizes span 0.1MB-10GB; a small head of \
+         files is accessed up to ~64 times",
+    );
+    let settings = bench_settings();
+    let size_probes = [1.0, 10.0, 64.0, 128.0, 512.0, 1024.0, 5120.0, 10240.0];
+    let freq_probes = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    for kind in [TraceKind::Facebook, TraceKind::Cmu] {
+        let cdfs = figure5(&settings, kind);
+        println!("\n[{kind}]");
+        let fmt = |pts: Vec<(f64, f64)>| {
+            pts.iter()
+                .map(|(x, p)| format!("{x:>7.1}:{:>5.2}", p))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  job size MB   {}", fmt(cdfs.job_size_mb.points(&size_probes)));
+        println!("  file size MB  {}", fmt(cdfs.file_size_mb.points(&size_probes)));
+        println!("  access freq   {}", fmt(cdfs.access_frequency.points(&freq_probes)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figures 10-11: downgrade policies in isolation (FB workload).
+use bench::{banner, bench_settings, pct_row, BIN_HEADERS};
+use octo_experiments::endtoend::{compare_scenarios, downgrade_scenarios};
+use octo_metrics::render_table;
+use octo_workload::TraceKind;
+
+fn main() {
+    let settings = bench_settings();
+    let outcomes = compare_scenarios(&settings, TraceKind::Facebook, &downgrade_scenarios());
+
+    banner(
+        "Figure 10 (FB): % reduction in completion time, downgrade-only",
+        "LIFE 13-21% on E/F; XGB best at 18-25% on E/F; LFU-F good on B-D",
+    );
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| pct_row(&o.label, &o.completion_reduction))
+        .collect();
+    print!("{}", render_table(&BIN_HEADERS, &rows));
+
+    banner(
+        "Figure 11 (FB): HR and BHR for downgrade policies (memory accesses)",
+        "all non-XGB around HR 67%; LRFU/EXD BHR ~69%, others ~85%; XGB BHR 98%",
+    );
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                format!("{:.1}%", o.hit_by_access.hr * 100.0),
+                format!("{:.1}%", o.hit_by_access.bhr * 100.0),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["policy", "HR", "BHR"], &rows));
+}

@@ -1,0 +1,45 @@
+//! Figure 12 and Table 4: upgrade policies in isolation (FB, HDD start).
+use bench::{banner, bench_settings, pct_row, BIN_HEADERS};
+use octo_experiments::endtoend::{compare_scenarios, upgrade_scenarios};
+use octo_metrics::render_table;
+use octo_workload::TraceKind;
+
+fn main() {
+    let settings = bench_settings();
+    let outcomes = compare_scenarios(&settings, TraceKind::Facebook, &upgrade_scenarios());
+
+    banner(
+        "Figure 12 (FB): % reduction in completion time, upgrade-only (HDD start)",
+        "gains <9% overall; OSA 2-7%; XGB highest",
+    );
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| pct_row(&o.label, &o.completion_reduction))
+        .collect();
+    print!("{}", render_table(&BIN_HEADERS, &rows));
+
+    banner(
+        "Table 4 (FB): upgrade policy statistics",
+        "paper: OSA 9.41GB read / 34.52GB upgraded BAc .27 BCo .21 | \
+         LRFU 9.03/22.82 .40 .21 | EXD 6.45/22.59 .29 .15 | XGB 13.77/27.66 .50 .31",
+    );
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                format!("{:.2}", o.prefetch.gb_read_from_memory),
+                format!("{:.2}", o.prefetch.gb_upgraded_to_memory),
+                format!("{:.2}", o.prefetch.byte_accuracy),
+                format!("{:.2}", o.prefetch.byte_coverage),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["policy", "GB read from MEM", "GB upgraded to MEM", "Byte Accuracy", "Byte Coverage"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 13: scaling the cluster 11 -> 88 workers (XGB policies, FB).
+use bench::{banner, bench_settings, pct_row, BIN_HEADERS};
+use octo_experiments::scalability::figure13;
+use octo_metrics::render_table;
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Figure 13: XGB vs HDFS while scaling workers (data scaled with cluster)",
+        "efficiency gains grow with cluster size (bin C: 10%->23%); \
+         completion gains shrink for large jobs (bin F: 24%->15%)",
+    );
+    let points = figure13(&bench_settings(), TraceKind::Facebook);
+    println!("\n(a) % reduction in completion time");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| pct_row(&format!("{} workers", p.workers), &p.completion_reduction))
+        .collect();
+    print!("{}", render_table(&BIN_HEADERS, &rows));
+    println!("\n(b) % improvement in cluster efficiency");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| pct_row(&format!("{} workers", p.workers), &p.efficiency_improvement))
+        .collect();
+    print!("{}", render_table(&BIN_HEADERS, &rows));
+}

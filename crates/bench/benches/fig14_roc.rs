@@ -1,0 +1,35 @@
+//! Figure 14: ROC curves and AUC for the XGB downgrade/upgrade models.
+use bench::{banner, bench_settings};
+use octo_access::FeatureConfig;
+use octo_experiments::model_eval::roc_experiment;
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Figure 14: ROC / AUC of the XGB models (train first hours, test last)",
+        "paper AUCs: FB down .9760, FB up .9742, CMU down .9971, CMU up .9967; \
+         accuracy 97-99% at threshold 0.5",
+    );
+    let settings = bench_settings();
+    for kind in [TraceKind::Facebook, TraceKind::Cmu] {
+        for (name, window) in [
+            ("downgrade", settings.downgrade_window()),
+            ("upgrade", settings.upgrade_window()),
+        ] {
+            let r = roc_experiment(
+                &settings,
+                kind,
+                window,
+                FeatureConfig::default(),
+                &format!("{kind} {name}"),
+            );
+            println!(
+                "  {:<16} AUC={:.4}  accuracy@0.5={:.1}%  (n={})",
+                r.label,
+                r.roc.auc,
+                r.accuracy * 100.0,
+                r.test_points
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 15: feature ablation for the FB downgrade model.
+use bench::{banner, bench_settings};
+use octo_experiments::model_eval::{ablation_variants, roc_experiment};
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Figure 15: ROC under feature ablation (FB downgrade model)",
+        "size and creation time individually matter; 6 accesses slightly \
+         worse, 18 marginal over the default 12",
+    );
+    let settings = bench_settings();
+    for (name, features) in ablation_variants() {
+        let r = roc_experiment(
+            &settings,
+            TraceKind::Facebook,
+            settings.downgrade_window(),
+            features,
+            name,
+        );
+        println!(
+            "  {:<28} AUC={:.4}  accuracy@0.5={:.1}%  (n={})",
+            r.label,
+            r.roc.auc,
+            r.accuracy * 100.0,
+            r.test_points
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 16: incremental vs retrain-hourly vs one-shot learning.
+use bench::{banner, bench_settings};
+use octo_access::LearningMode;
+use octo_experiments::model_eval::learning_mode_timeline;
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Figure 16: hourly prediction accuracy of the three learning modes (FB)",
+        "one-shot decays below 40%; retrain oscillates 80-90%; incremental \
+         climbs to ~98% and stays",
+    );
+    let settings = bench_settings();
+    for (mode, label) in [
+        (LearningMode::Incremental, "incremental"),
+        (LearningMode::Retrain, "retrain"),
+        (LearningMode::OneShot, "one-shot"),
+    ] {
+        for (wname, window) in [
+            ("downgrade", settings.downgrade_window()),
+            ("upgrade", settings.upgrade_window()),
+        ] {
+            let tl = learning_mode_timeline(
+                &settings,
+                TraceKind::Facebook,
+                window,
+                mode,
+                &format!("{label}/{wname}"),
+            );
+            let pts: Vec<String> = tl
+                .points
+                .iter()
+                .map(|(h, a)| format!("h{h}:{a:.0}%"))
+                .collect();
+            println!("  {:<22} {}", tl.label, pts.join(" "));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 17: adapting to workload switches between FB and CMU.
+use bench::{banner, bench_settings};
+use octo_common::SimDuration;
+use octo_experiments::model_eval::workload_shift_timeline;
+use octo_experiments::Mode;
+
+fn main() {
+    banner(
+        "Figure 17: accuracy while alternating FB and CMU workloads",
+        "accuracy drops ~10% at the first switch, recovers above 95%; \
+         more interleaving means smaller drops",
+    );
+    let settings = bench_settings();
+    let (periods, total): (Vec<(u64, &str)>, SimDuration) = match settings.mode {
+        Mode::Full => (
+            vec![(360, "switch every 6h"), (180, "every 3h"), (90, "every 1.5h")],
+            SimDuration::from_hours(12),
+        ),
+        Mode::Quick => (
+            vec![(60, "switch every 1h"), (30, "every 30m")],
+            SimDuration::from_hours(4),
+        ),
+    };
+    for (mins, label) in periods {
+        let tl = workload_shift_timeline(
+            &settings,
+            SimDuration::from_mins(mins),
+            total,
+            label,
+        );
+        let pts: Vec<String> = tl
+            .points
+            .iter()
+            .map(|(h, a)| format!("h{h}:{a:.0}%"))
+            .collect();
+        println!("  {:<18} {}", tl.label, pts.join(" "));
+    }
+}

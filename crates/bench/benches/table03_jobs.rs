@@ -1,0 +1,37 @@
+//! Table 3: job size distributions for the FB and CMU workloads.
+use bench::{banner, bench_settings};
+use octo_experiments::workload_stats::table3;
+use octo_metrics::render_table;
+use octo_workload::TraceKind;
+
+fn main() {
+    banner(
+        "Table 3: job size distributions (measured on the HDFS baseline)",
+        "FB %jobs: A 74.4 B 16.2 C 4.0 D 3.0 E 1.6 F 0.8 | \
+         CMU %jobs: A 63.4 B 29.1 C 0.9 D 4.9 E 1.5 F 0.3",
+    );
+    let settings = bench_settings();
+    for kind in [TraceKind::Facebook, TraceKind::Cmu] {
+        println!("\n[{kind}]");
+        let rows: Vec<Vec<String>> = table3(&settings, kind)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bin.label().to_string(),
+                    r.bin.description().to_string(),
+                    format!("{:.1}%", r.pct_jobs),
+                    format!("{:.1}%", r.pct_resources),
+                    format!("{:.1}%", r.pct_io),
+                    format!("{:.1}", r.task_time_mins),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["Bin", "Data size", "% Jobs", "% Resources", "% I/O", "Task time (min)"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the table/figure bench harnesses.
+
+use octo_experiments::{ExpSettings, Mode};
+
+/// Settings for a bench run: full fidelity unless `OCTO_BENCH_MODE=quick`.
+pub fn bench_settings() -> ExpSettings {
+    let mode = match std::env::var("OCTO_BENCH_MODE").as_deref() {
+        Ok("quick") => Mode::Quick,
+        _ => Mode::Full,
+    };
+    ExpSettings {
+        mode,
+        seed: std::env::var("OCTO_BENCH_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42),
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, paper_note: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("paper reference: {paper_note}");
+    println!("================================================================");
+}
+
+/// Formats a per-bin `[f64; 6]` row as percentages.
+pub fn pct_row(label: &str, values: &[f64; 6]) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    row.extend(values.iter().map(|v| format!("{v:.1}%")));
+    row
+}
+
+/// Bin headers for per-bin tables.
+pub const BIN_HEADERS: [&str; 7] = ["policy", "A", "B", "C", "D", "E", "F"];

@@ -1,0 +1,191 @@
+//! Classifier evaluation: ROC curves and AUC (paper §7.6, Figure 14).
+
+use serde::{Deserialize, Serialize};
+
+/// A receiver operating characteristic curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// `(false positive rate, true positive rate)` points, sweeping the
+    /// threshold from high to low; starts at (0,0) and ends at (1,1).
+    pub points: Vec<(f64, f64)>,
+    /// Area under the curve.
+    pub auc: f64,
+}
+
+/// Computes the ROC curve of `scores` (predicted probability, true label).
+///
+/// Ties in scores are handled correctly (grouped into one sweep step).
+/// Degenerate inputs — no positives or no negatives — yield an AUC of 0.5
+/// by convention.
+pub fn roc_curve(scores: &[(f64, bool)]) -> RocCurve {
+    let pos = scores.iter().filter(|(_, y)| *y).count() as f64;
+    let neg = scores.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+            auc: 0.5,
+        };
+    }
+    let mut sorted: Vec<(f64, bool)> = scores.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+
+    let mut points = Vec::with_capacity(sorted.len() + 2);
+    points.push((0.0, 0.0));
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut auc = 0.0;
+    let (mut last_fpr, mut last_tpr) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < sorted.len() {
+        // Consume the whole tie group at this score.
+        let score = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        let fpr = fp / neg;
+        let tpr = tp / pos;
+        auc += (fpr - last_fpr) * (tpr + last_tpr) / 2.0; // trapezoid
+        points.push((fpr, tpr));
+        last_fpr = fpr;
+        last_tpr = tpr;
+    }
+    RocCurve { points, auc }
+}
+
+/// A 2×2 confusion matrix at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Positives predicted positive.
+    pub tp: u64,
+    /// Negatives predicted positive.
+    pub fp: u64,
+    /// Negatives predicted negative.
+    pub tn: u64,
+    /// Positives predicted negative.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions at `threshold`.
+    pub fn at_threshold(scores: &[(f64, bool)], threshold: f64) -> Self {
+        let mut c = Confusion::default();
+        for &(p, y) in scores {
+            match (p >= threshold, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// True positive rate (recall).
+    pub fn tpr(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// False positive rate.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / (self.fp + self.tn) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_classifier_has_auc_one() {
+        let scores = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let roc = roc_curve(&scores);
+        assert!((roc.auc - 1.0).abs() < 1e-12);
+        assert_eq!(roc.points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(roc.points.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn inverted_classifier_has_auc_zero() {
+        let scores = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(roc_curve(&scores).auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ties_give_half() {
+        // All scores identical: one big tie group, AUC = 0.5 by trapezoid.
+        let scores = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_curve(&scores).auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_labels_fall_back_to_half() {
+        assert_eq!(roc_curve(&[(0.7, true), (0.3, true)]).auc, 0.5);
+        assert_eq!(roc_curve(&[(0.7, false)]).auc, 0.5);
+        assert_eq!(roc_curve(&[]).auc, 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let scores = vec![(0.9, true), (0.6, false), (0.4, true), (0.1, false)];
+        let c = Confusion::at_threshold(&scores, 0.5);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert!((c.tpr() - 0.5).abs() < 1e-12);
+        assert!((c.fpr() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// AUC equals the probability a random positive outranks a random
+        /// negative (the Mann–Whitney statistic), checked by brute force.
+        #[test]
+        fn prop_auc_equals_mann_whitney(
+            scores in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..60)
+        ) {
+            let pos: Vec<f64> = scores.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
+            let neg: Vec<f64> = scores.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+            prop_assume!(!pos.is_empty() && !neg.is_empty());
+            let mut wins = 0.0;
+            for p in &pos {
+                for n in &neg {
+                    if p > n { wins += 1.0; }
+                    else if p == n { wins += 0.5; }
+                }
+            }
+            let mw = wins / (pos.len() * neg.len()) as f64;
+            let auc = roc_curve(&scores).auc;
+            prop_assert!((auc - mw).abs() < 1e-9, "auc {auc} vs mann-whitney {mw}");
+        }
+
+        /// ROC points are monotone non-decreasing in both axes.
+        #[test]
+        fn prop_roc_points_monotone(
+            scores in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..60)
+        ) {
+            let roc = roc_curve(&scores);
+            for w in roc.points.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+        }
+    }
+}

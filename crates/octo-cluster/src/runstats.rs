@@ -1,0 +1,110 @@
+//! Raw per-run results the metrics crate aggregates into paper tables.
+
+use octo_common::{ByteSize, SimTime, StorageTier};
+use octo_dfs::MovementStats;
+use octo_workload::SizeBin;
+use serde::{Deserialize, Serialize};
+
+/// One task's I/O record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskStat {
+    /// Tier the input block was actually read from.
+    pub read_tier: StorageTier,
+    /// True when the read crossed the network.
+    pub remote: bool,
+    /// Input bytes read.
+    pub bytes: ByteSize,
+    /// True if the block had a memory replica somewhere at read time —
+    /// feeds the "HR by location" metric of Figure 9.
+    pub had_memory_replica: bool,
+    /// Seconds spent reading input.
+    pub read_secs: f64,
+    /// Seconds spent computing (includes startup overhead).
+    pub cpu_secs: f64,
+}
+
+/// One job's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Size bin (Table 3 grouping).
+    pub bin: SizeBin,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Completion time (output committed).
+    pub finish: SimTime,
+    /// Input bytes (whole file).
+    pub input_bytes: ByteSize,
+    /// Output bytes written.
+    pub output_bytes: ByteSize,
+    /// Per-task records.
+    pub tasks: Vec<TaskStat>,
+    /// Seconds the output write took.
+    pub output_write_secs: f64,
+}
+
+impl JobResult {
+    /// Wall-clock completion time in seconds.
+    pub fn completion_secs(&self) -> f64 {
+        self.finish.duration_since(self.submit).as_secs_f64()
+    }
+
+    /// Total resource consumption in task-seconds (read + compute + output
+    /// write) — the cluster-efficiency currency of §7.2.
+    pub fn task_seconds(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.read_secs + t.cpu_secs)
+            .sum::<f64>()
+            + self.output_write_secs
+    }
+
+    /// Fraction of tasks served from the memory tier.
+    pub fn memory_served_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.read_tier == StorageTier::Memory)
+            .count()
+    }
+}
+
+/// A complete simulation outcome for one scenario × workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scenario label (e.g. "HDFS", "XGB-XGB").
+    pub scenario: String,
+    /// Workload label (e.g. "FB").
+    pub workload: String,
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Replica-movement statistics accumulated by the DFS.
+    pub movement: MovementStats,
+    /// When the last event fired.
+    pub sim_end: SimTime,
+    /// Bytes of job input read from each tier, cluster-wide.
+    pub bytes_read_by_tier: [ByteSize; 3],
+}
+
+impl RunReport {
+    /// Total bytes of input read.
+    pub fn total_read(&self) -> ByteSize {
+        self.bytes_read_by_tier.iter().copied().sum()
+    }
+
+    /// Bytes read from memory.
+    pub fn read_from_memory(&self) -> ByteSize {
+        self.bytes_read_by_tier[StorageTier::Memory.index()]
+    }
+
+    /// Mean job completion time in seconds.
+    pub fn mean_completion_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.completion_secs()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Total task-seconds across all jobs.
+    pub fn total_task_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.task_seconds()).sum()
+    }
+}

@@ -1,0 +1,158 @@
+//! The four evaluation scenarios of the paper (§3.1, §7.2).
+
+use octo_access::LearnerConfig;
+use octo_common::StorageTier;
+use octo_dfs::TieredDfs;
+use octo_policies::{downgrade_policy, upgrade_policy, TieringConfig, TieringEngine};
+use serde::{Deserialize, Serialize};
+
+/// Which file system / policy combination a run simulates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Original HDFS: 3 replicas, all on HDDs, no movement.
+    Hdfs,
+    /// HDFS with the centralized cache: HDD replicas plus a cache copy in
+    /// memory on first access; once memory fills, caching requests fail and
+    /// nothing is ever uncached (§1).
+    HdfsCache,
+    /// OctopusFS: tiered multi-objective placement, no movement afterwards.
+    OctopusFs,
+    /// Octopus++: OctopusFS placement plus automated downgrade/upgrade
+    /// policies (names resolved by `octo_policies::registry`; `None`
+    /// disables that side, as the §7.3/§7.4 isolation experiments do).
+    OctopusPlusPlus {
+        /// Downgrade policy name, e.g. `"lru"`, `"xgb"`.
+        downgrade: Option<String>,
+        /// Upgrade policy name, e.g. `"osa"`, `"xgb"`.
+        upgrade: Option<String>,
+        /// Force all initial placements onto HDD (used by the §7.4
+        /// upgrade-only comparison).
+        initial_hdd_only: bool,
+    },
+}
+
+impl Scenario {
+    /// The paper's shorthand for a policy pair, e.g. `"LRU-OSA"`.
+    pub fn policy_pair(down: &str, up: &str) -> Scenario {
+        Scenario::OctopusPlusPlus {
+            downgrade: Some(down.to_string()),
+            upgrade: Some(up.to_string()),
+            initial_hdd_only: false,
+        }
+    }
+
+    /// Downgrade-only variant (§7.3).
+    pub fn downgrade_only(down: &str) -> Scenario {
+        Scenario::OctopusPlusPlus {
+            downgrade: Some(down.to_string()),
+            upgrade: None,
+            initial_hdd_only: false,
+        }
+    }
+
+    /// Upgrade-only variant with HDD initial placement (§7.4).
+    pub fn upgrade_only(up: &str) -> Scenario {
+        Scenario::OctopusPlusPlus {
+            downgrade: None,
+            upgrade: Some(up.to_string()),
+            initial_hdd_only: true,
+        }
+    }
+
+    /// Display label used in report tables.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Hdfs => "HDFS".to_string(),
+            Scenario::HdfsCache => "HDFS+Cache".to_string(),
+            Scenario::OctopusFs => "OctopusFS".to_string(),
+            Scenario::OctopusPlusPlus {
+                downgrade, upgrade, ..
+            } => match (downgrade, upgrade) {
+                (Some(d), Some(u)) => format!("{}-{}", d.to_uppercase(), u.to_uppercase()),
+                (Some(d), None) => format!("{}(down)", d.to_uppercase()),
+                (None, Some(u)) => format!("{}(up)", u.to_uppercase()),
+                (None, None) => "Octopus++(none)".to_string(),
+            },
+        }
+    }
+
+    /// True if reads should trigger HDFS-cache-style copy-on-access.
+    pub fn caches_on_access(&self) -> bool {
+        matches!(self, Scenario::HdfsCache)
+    }
+
+    /// Applies the scenario's placement restrictions to a fresh DFS.
+    pub fn configure_dfs(&self, dfs: &mut TieredDfs) {
+        match self {
+            Scenario::Hdfs | Scenario::HdfsCache => {
+                dfs.placement_mut()
+                    .restrict_initial_tiers(&[StorageTier::Hdd]);
+            }
+            Scenario::OctopusFs => {}
+            Scenario::OctopusPlusPlus {
+                initial_hdd_only, ..
+            } => {
+                if *initial_hdd_only {
+                    dfs.placement_mut()
+                        .restrict_initial_tiers(&[StorageTier::Hdd]);
+                }
+            }
+        }
+    }
+
+    /// Builds the tiering engine this scenario runs with.
+    pub fn build_engine(
+        &self,
+        tiering: &TieringConfig,
+        learner: &LearnerConfig,
+        seed: u64,
+    ) -> TieringEngine {
+        match self {
+            Scenario::Hdfs | Scenario::HdfsCache | Scenario::OctopusFs => {
+                TieringEngine::disabled()
+            }
+            Scenario::OctopusPlusPlus {
+                downgrade, upgrade, ..
+            } => {
+                let down = downgrade
+                    .as_deref()
+                    .and_then(|n| downgrade_policy(n, tiering, learner, seed ^ 0xD0));
+                let up = upgrade
+                    .as_deref()
+                    .and_then(|n| upgrade_policy(n, tiering, learner, seed ^ 0x09));
+                TieringEngine::new(down, up)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scenario::Hdfs.label(), "HDFS");
+        assert_eq!(Scenario::policy_pair("lru", "osa").label(), "LRU-OSA");
+        assert_eq!(Scenario::downgrade_only("exd").label(), "EXD(down)");
+        assert_eq!(Scenario::upgrade_only("xgb").label(), "XGB(up)");
+    }
+
+    #[test]
+    fn engines_match_scenarios() {
+        let t = TieringConfig::default();
+        let l = LearnerConfig::default();
+        assert!(!Scenario::Hdfs.build_engine(&t, &l, 1).has_downgrade());
+        let e = Scenario::policy_pair("xgb", "xgb").build_engine(&t, &l, 1);
+        assert!(e.has_downgrade() && e.has_upgrade());
+        let e = Scenario::upgrade_only("osa").build_engine(&t, &l, 1);
+        assert!(!e.has_downgrade() && e.has_upgrade());
+    }
+
+    #[test]
+    fn only_hdfs_cache_caches_on_access() {
+        assert!(Scenario::HdfsCache.caches_on_access());
+        assert!(!Scenario::Hdfs.caches_on_access());
+        assert!(!Scenario::policy_pair("lru", "osa").caches_on_access());
+    }
+}

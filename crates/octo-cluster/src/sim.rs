@@ -1,0 +1,581 @@
+//! The discrete-event cluster simulator.
+//!
+//! Replays a [`Trace`] against a [`TieredDfs`] under one of the four
+//! [`Scenario`]s, with MapReduce-style execution:
+//!
+//! * Each job spawns one map task per input block; tasks occupy node slots
+//!   (locality-first FIFO scheduling, deliberately **tier-unaware** — a
+//!   task lands on any node with a local replica, which reproduces the
+//!   paper's HR-by-access vs HR-by-location gap).
+//! * A task reads its block (a bandwidth-model flow from the chosen
+//!   replica), computes (`overhead + cpu_ms_per_mb × MB`), then releases
+//!   its slot; when all tasks finish the job writes its replicated output
+//!   through pipeline flows and completes.
+//! * File accesses drive the upgrade policy (before the read starts);
+//!   commits and transfer completions drive the downgrade trigger; a
+//!   periodic monitor tick feeds the ML policies training samples and runs
+//!   the proactive checks.
+//!
+//! Everything is deterministic for a fixed `(trace, config)` pair.
+
+use crate::resources::ResourceMap;
+use crate::runstats::{JobResult, RunReport, TaskStat};
+use crate::scenario::Scenario;
+use octo_access::LearnerConfig;
+use octo_common::{
+    ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier,
+};
+use octo_dfs::{DfsConfig, TieredDfs, TransferId};
+use octo_policies::{TieringConfig, TieringEngine};
+use octo_simkit::{EventQueue, FlowModel};
+use octo_workload::Trace;
+use std::collections::{HashMap, VecDeque};
+
+/// Simulation parameters (hardware config + execution model constants).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster hardware / DFS parameters.
+    pub dfs: DfsConfig,
+    /// Policy thresholds.
+    pub tiering: TieringConfig,
+    /// ML learner configuration for the XGB policies.
+    pub learner: LearnerConfig,
+    /// Which file system variant to simulate.
+    pub scenario: Scenario,
+    /// Concurrent task slots per worker node.
+    pub slots_per_node: u32,
+    /// Fixed task startup overhead.
+    pub task_overhead: SimDuration,
+    /// CPU milliseconds per input megabyte.
+    pub cpu_ms_per_mb: f64,
+    /// Lifetime of temporary (non-durable) job outputs.
+    pub output_ttl: SimDuration,
+    /// Replication-monitor / policy-tick interval.
+    pub monitor_interval: SimDuration,
+    /// Seed for policy-internal sampling.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dfs: DfsConfig::default(),
+            tiering: TieringConfig::default(),
+            learner: LearnerConfig::default(),
+            scenario: Scenario::OctopusFs,
+            slots_per_node: 8,
+            task_overhead: SimDuration::from_millis(1500),
+            cpu_ms_per_mb: 18.0,
+            output_ttl: SimDuration::from_mins(20),
+            monitor_interval: SimDuration::from_secs(60),
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Ingest(usize),
+    Submit(usize),
+    CpuDone { job: usize, task: usize, node: NodeId },
+    FlowTick { version: u64 },
+    Monitor,
+    DeleteTemp(FileId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowPurpose {
+    Read {
+        job: usize,
+        task: usize,
+        src: (NodeId, StorageTier),
+        dst: NodeId,
+        had_mem: bool,
+        start: SimTime,
+    },
+    OutputBlock {
+        job: usize,
+    },
+    TransferBlock {
+        id: TransferId,
+    },
+}
+
+#[derive(Debug)]
+struct TaskRt {
+    block: octo_common::BlockId,
+    size: ByteSize,
+}
+
+#[derive(Debug)]
+struct JobRt {
+    spec: usize,
+    tasks: Vec<TaskRt>,
+    done: usize,
+    output_file: Option<FileId>,
+    output_flows: usize,
+    output_write_start: SimTime,
+    completion: SimTime,
+    stats: Vec<TaskStat>,
+    finished: bool,
+}
+
+/// The simulator. Construct with [`ClusterSim::new`], run with
+/// [`ClusterSim::run`].
+pub struct ClusterSim<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    dfs: TieredDfs,
+    engine: TieringEngine,
+    queue: EventQueue<Event>,
+    flows: FlowModel,
+    resources: ResourceMap,
+    flow_ids: IdGen,
+    flow_purpose: HashMap<FlowId, FlowPurpose>,
+    transfer_blocks: HashMap<TransferId, usize>,
+    free_slots: Vec<u32>,
+    pending: VecDeque<(usize, usize)>,
+    jobs: Vec<JobRt>,
+    file_map: Vec<Option<FileId>>,
+    jobs_remaining: usize,
+    bytes_read_by_tier: [ByteSize; 3],
+}
+
+impl<'t> ClusterSim<'t> {
+    /// Builds a simulator over `trace`.
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Self {
+        let mut dfs = TieredDfs::new(cfg.dfs.clone()).expect("valid DFS config");
+        cfg.scenario.configure_dfs(&mut dfs);
+        let engine = cfg
+            .scenario
+            .build_engine(&cfg.tiering, &cfg.learner, cfg.seed);
+        let mut flows = FlowModel::new();
+        let resources = ResourceMap::new(&cfg.dfs, &mut flows);
+        let mut queue = EventQueue::new();
+
+        for (i, f) in trace.files.iter().enumerate() {
+            queue.schedule(f.created, Event::Ingest(i));
+        }
+        for (i, j) in trace.jobs.iter().enumerate() {
+            queue.schedule(j.submit, Event::Submit(i));
+        }
+        queue.schedule(SimTime::ZERO + cfg.monitor_interval, Event::Monitor);
+
+        let workers = cfg.dfs.workers as usize;
+        ClusterSim {
+            free_slots: vec![cfg.slots_per_node; workers],
+            jobs_remaining: trace.jobs.len(),
+            file_map: vec![None; trace.files.len()],
+            jobs: Vec::with_capacity(trace.jobs.len()),
+            cfg,
+            trace,
+            dfs,
+            engine,
+            queue,
+            flows,
+            resources,
+            flow_ids: IdGen::new(),
+            flow_purpose: HashMap::new(),
+            transfer_blocks: HashMap::new(),
+            pending: VecDeque::new(),
+            bytes_read_by_tier: [ByteSize::ZERO; 3],
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> RunReport {
+        let horizon = SimTime::from_secs(48 * 3600);
+        while let Some((now, ev)) = self.queue.pop() {
+            assert!(now < horizon, "simulation ran away past 48h");
+            self.handle(ev, now);
+            self.pump();
+        }
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                debug_assert!(j.finished, "job {} never finished", j.spec);
+                let spec = &self.trace.jobs[j.spec];
+                JobResult {
+                    bin: spec.bin,
+                    submit: spec.submit,
+                    finish: j.completion,
+                    input_bytes: self.trace.files[spec.input].size,
+                    output_bytes: spec.output_size,
+                    tasks: j.stats.clone(),
+                    output_write_secs: j
+                        .completion
+                        .duration_since(j.output_write_start)
+                        .as_secs_f64(),
+                }
+            })
+            .collect();
+        RunReport {
+            scenario: self.cfg.scenario.label(),
+            workload: self.trace.kind.label().to_string(),
+            jobs,
+            movement: *self.dfs.movement_stats(),
+            sim_end: self.queue.now(),
+            bytes_read_by_tier: self.bytes_read_by_tier,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::Ingest(i) => self.handle_ingest(i, now),
+            Event::Submit(i) => self.handle_submit(i, now),
+            Event::CpuDone { job, task, node } => self.handle_cpu_done(job, task, node, now),
+            Event::FlowTick { version } => self.handle_flow_tick(version, now),
+            Event::Monitor => self.handle_monitor(now),
+            Event::DeleteTemp(file) => self.handle_delete_temp(file, now),
+        }
+    }
+
+    fn handle_ingest(&mut self, idx: usize, now: SimTime) {
+        let spec = &self.trace.files[idx];
+        // Ingestion is modelled as an instant commit: space accounting is
+        // what matters for tiering decisions; ingest bandwidth is not part
+        // of any reported metric.
+        match self.dfs.create_file(&spec.path, spec.size, now) {
+            Ok(plan) => {
+                self.dfs.commit_file(plan.file, now).expect("fresh file");
+                self.file_map[idx] = Some(plan.file);
+                self.engine.notify_created(&self.dfs, plan.file, now);
+                // HDFS cache directives: new files get cached on ingest
+                // until memory fills (no automatic uncaching ever).
+                if self.cfg.scenario.caches_on_access() {
+                    if let Ok(id) = self.dfs.plan_cache_copy(plan.file, StorageTier::Memory) {
+                        self.execute_transfers(vec![id], now);
+                    }
+                }
+                self.check_downgrades(now);
+            }
+            Err(_) => {
+                // Cluster out of space: the dataset never materializes and
+                // jobs reading it will be skipped (counted as failed).
+            }
+        }
+    }
+
+    fn handle_submit(&mut self, idx: usize, now: SimTime) {
+        let spec = &self.trace.jobs[idx];
+        let Some(file) = self.file_map[spec.input] else {
+            // Input never ingested (out of capacity): job cannot run.
+            self.jobs_remaining -= 1;
+            return;
+        };
+        // Record the access and let policies react *before* the read (§6).
+        self.dfs.record_access(file, now).expect("committed input");
+        self.engine.notify_accessed(&self.dfs, file, now);
+        if self.cfg.scenario.caches_on_access()
+            && !self.dfs.file_fully_on_tier(file, StorageTier::Memory)
+        {
+            if let Ok(id) = self.dfs.plan_cache_copy(file, StorageTier::Memory) {
+                self.execute_transfers(vec![id], now);
+            }
+        }
+        let planned = self.engine.run_upgrade(&mut self.dfs, Some(file), now);
+        self.execute_transfers(planned, now);
+
+        // One map task per block.
+        let blocks = self.dfs.file_meta(file).expect("live input").blocks.clone();
+        let tasks: Vec<TaskRt> = blocks
+            .iter()
+            .map(|b| TaskRt {
+                block: *b,
+                size: self.dfs.block_info(*b).size,
+            })
+            .collect();
+        let job_idx = self.jobs.len();
+        let n_tasks = tasks.len();
+        self.jobs.push(JobRt {
+            spec: idx,
+            tasks,
+            done: 0,
+            output_file: None,
+            output_flows: 0,
+            output_write_start: now,
+            completion: now,
+            stats: Vec::with_capacity(n_tasks),
+            finished: false,
+        });
+        for t in 0..n_tasks {
+            self.pending.push_back((job_idx, t));
+        }
+        self.schedule_tasks(now);
+    }
+
+    /// Locality-first FIFO assignment of pending tasks to free slots.
+    fn schedule_tasks(&mut self, now: SimTime) {
+        loop {
+            let mut assigned = false;
+            for node_i in 0..self.free_slots.len() {
+                if self.free_slots[node_i] == 0 || self.pending.is_empty() {
+                    continue;
+                }
+                let node = NodeId(node_i as u32);
+                // Prefer a task with a replica on this node (any tier — the
+                // scheduler is tier-unaware), else take the oldest task.
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|(j, t)| {
+                        let block = self.jobs[*j].tasks[*t].block;
+                        self.dfs
+                            .block_info(block)
+                            .replicas()
+                            .iter()
+                            .any(|r| r.node == node)
+                    })
+                    .unwrap_or(0);
+                let (job, task) = self.pending.remove(pos).expect("non-empty");
+                self.free_slots[node_i] -= 1;
+                self.start_task_read(job, task, node, now);
+                assigned = true;
+            }
+            if !assigned {
+                break;
+            }
+        }
+    }
+
+    fn start_task_read(&mut self, job: usize, task: usize, node: NodeId, now: SimTime) {
+        let block = self.jobs[job].tasks[task].block;
+        let size = self.jobs[job].tasks[task].size;
+        let info = self.dfs.block_info(block);
+        // Best reachable replica: local first, then fastest tier.
+        let src = info
+            .replicas()
+            .iter()
+            .max_by_key(|r| (r.node == node, r.tier.rank(), std::cmp::Reverse(r.node)))
+            .map(|r| (r.node, r.tier))
+            .expect("committed blocks have replicas");
+        let had_mem = info
+            .replicas()
+            .iter()
+            .any(|r| r.tier == StorageTier::Memory);
+        self.dfs.io_started(src.0, src.1);
+        let id = FlowId(self.flow_ids.next_raw());
+        let path = self.resources.read_path(src, node);
+        self.flows.start_flow(now, id, size, path);
+        self.flow_purpose.insert(
+            id,
+            FlowPurpose::Read {
+                job,
+                task,
+                src,
+                dst: node,
+                had_mem,
+                start: now,
+            },
+        );
+    }
+
+    fn handle_flow_tick(&mut self, version: u64, now: SimTime) {
+        if version != self.flows.version() {
+            return; // stale completion prediction
+        }
+        let done = self.flows.collect_completed(now);
+        for id in done {
+            let purpose = self
+                .flow_purpose
+                .remove(&id)
+                .expect("every flow has a purpose");
+            match purpose {
+                FlowPurpose::Read {
+                    job,
+                    task,
+                    src,
+                    dst,
+                    had_mem,
+                    start,
+                } => self.finish_task_read(job, task, src, dst, had_mem, start, now),
+                FlowPurpose::OutputBlock { job } => self.finish_output_block(job, now),
+                FlowPurpose::TransferBlock { id } => self.finish_transfer_block(id, now),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_task_read(
+        &mut self,
+        job: usize,
+        task: usize,
+        src: (NodeId, StorageTier),
+        dst: NodeId,
+        had_mem: bool,
+        start: SimTime,
+        now: SimTime,
+    ) {
+        self.dfs.io_finished(src.0, src.1);
+        let size = self.jobs[job].tasks[task].size;
+        let read_secs = now.duration_since(start).as_secs_f64();
+        let cpu = self.cfg.task_overhead
+            + SimDuration::from_millis((self.cfg.cpu_ms_per_mb * size.as_mb_f64()) as u64);
+        self.bytes_read_by_tier[src.1.index()] += size;
+        self.jobs[job].stats.push(TaskStat {
+            read_tier: src.1,
+            remote: src.0 != dst,
+            bytes: size,
+            had_memory_replica: had_mem,
+            read_secs,
+            cpu_secs: cpu.as_secs_f64(),
+        });
+        self.queue
+            .schedule(now + cpu, Event::CpuDone { job, task, node: dst });
+    }
+
+    fn handle_cpu_done(&mut self, job: usize, _task: usize, node: NodeId, now: SimTime) {
+        self.free_slots[node.index()] += 1;
+        self.jobs[job].done += 1;
+        if self.jobs[job].done == self.jobs[job].tasks.len() {
+            self.start_output_write(job, now);
+        }
+        self.schedule_tasks(now);
+    }
+
+    fn start_output_write(&mut self, job: usize, now: SimTime) {
+        let spec_idx = self.jobs[job].spec;
+        let spec = &self.trace.jobs[spec_idx];
+        let out_path = format!("/out/{}/job{:05}", self.trace.kind.label(), spec_idx);
+        self.jobs[job].output_write_start = now;
+        match self.dfs.create_file(&out_path, spec.output_size, now) {
+            Ok(plan) => {
+                self.jobs[job].output_file = Some(plan.file);
+                self.jobs[job].output_flows = plan.blocks.len();
+                for bw in &plan.blocks {
+                    let id = FlowId(self.flow_ids.next_raw());
+                    let path = self.resources.write_pipeline_path(&bw.replicas);
+                    self.flows.start_flow(now, id, bw.size, path);
+                    self.flow_purpose
+                        .insert(id, FlowPurpose::OutputBlock { job });
+                }
+            }
+            Err(_) => {
+                // No room anywhere for the output: finish without it.
+                self.finish_job(job, now);
+            }
+        }
+    }
+
+    fn finish_output_block(&mut self, job: usize, now: SimTime) {
+        self.jobs[job].output_flows -= 1;
+        if self.jobs[job].output_flows > 0 {
+            return;
+        }
+        let file = self.jobs[job].output_file.expect("output in progress");
+        self.dfs.commit_file(file, now).expect("output just written");
+        self.engine.notify_created(&self.dfs, file, now);
+        let spec = &self.trace.jobs[self.jobs[job].spec];
+        if !spec.output_durable {
+            self.queue
+                .schedule(now + self.cfg.output_ttl, Event::DeleteTemp(file));
+        }
+        self.finish_job(job, now);
+        self.check_downgrades(now);
+    }
+
+    fn finish_job(&mut self, job: usize, now: SimTime) {
+        let j = &mut self.jobs[job];
+        debug_assert!(!j.finished, "double finish");
+        j.finished = true;
+        j.completion = now;
+        self.jobs_remaining -= 1;
+    }
+
+    fn handle_monitor(&mut self, now: SimTime) {
+        self.engine.tick(&self.dfs, now);
+        let planned = self.engine.run_upgrade(&mut self.dfs, None, now);
+        self.execute_transfers(planned, now);
+        self.check_downgrades(now);
+        // Keep ticking while there is anything left to drive.
+        if self.jobs_remaining > 0 || self.dfs.transfers_in_flight() > 0 {
+            self.queue
+                .schedule(now + self.cfg.monitor_interval, Event::Monitor);
+        }
+    }
+
+    fn handle_delete_temp(&mut self, file: FileId, now: SimTime) {
+        match self.dfs.delete_file(file) {
+            Ok(_) => {
+                self.engine.notify_deleted(file, now);
+            }
+            Err(e) if e.kind() == "invalid_state" => {
+                // A transfer is in flight for it; try again shortly.
+                self.queue
+                    .schedule(now + SimDuration::from_mins(2), Event::DeleteTemp(file));
+            }
+            Err(_) => {} // already gone
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replica movement execution
+    // ------------------------------------------------------------------
+
+    fn check_downgrades(&mut self, now: SimTime) {
+        for tier in [StorageTier::Memory, StorageTier::Ssd] {
+            let planned = self.engine.run_downgrade(&mut self.dfs, tier, now);
+            self.execute_transfers(planned, now);
+        }
+    }
+
+    fn execute_transfers(&mut self, planned: Vec<TransferId>, now: SimTime) {
+        for id in planned {
+            let transfer = self.dfs.transfer(id).expect("just planned").clone();
+            let moving: Vec<_> = transfer
+                .blocks
+                .iter()
+                .filter(|bt| bt.action.moves_bytes())
+                .collect();
+            if moving.is_empty() {
+                // Pure drops apply instantly.
+                self.dfs.complete_transfer(id).expect("drop-only transfer");
+                continue;
+            }
+            self.transfer_blocks.insert(id, moving.len());
+            for bt in moving {
+                let src = bt.action.source();
+                let dst = bt.action.destination().expect("moving actions land");
+                let fid = FlowId(self.flow_ids.next_raw());
+                let path = self.resources.transfer_path(src, dst);
+                self.flows.start_flow(now, fid, bt.size, path);
+                self.flow_purpose
+                    .insert(fid, FlowPurpose::TransferBlock { id });
+            }
+        }
+    }
+
+    fn finish_transfer_block(&mut self, id: TransferId, now: SimTime) {
+        let remaining = self
+            .transfer_blocks
+            .get_mut(&id)
+            .expect("transfer in progress");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return;
+        }
+        self.transfer_blocks.remove(&id);
+        let t = self.dfs.complete_transfer(id).expect("all blocks landed");
+        // An upgrade fills a higher tier: re-check the downgrade trigger.
+        if t.kind == octo_dfs::TransferKind::Upgrade {
+            self.check_downgrades(now);
+        }
+    }
+
+    /// Schedules the next flow-completion wakeup (stale ones are ignored).
+    fn pump(&mut self) {
+        if let Some((t, v)) = self.flows.next_completion(self.queue.now()) {
+            self.queue.schedule(t, Event::FlowTick { version: v });
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_trace(cfg: SimConfig, trace: &Trace) -> RunReport {
+    ClusterSim::new(cfg, trace).run()
+}

@@ -1,0 +1,181 @@
+//! End-to-end simulation tests: every scenario runs a scaled-down workload
+//! to completion, and the tiering scenarios behave qualitatively like the
+//! paper says they should.
+
+use octo_access::{FeatureConfig, LearnerConfig};
+use octo_cluster::{run_dfsio, run_trace, DfsioConfig, Scenario, SimConfig};
+use octo_common::{ByteSize, PerTier, SimDuration, StorageTier};
+use octo_dfs::DfsConfig;
+use octo_gbt::GbtParams;
+use octo_workload::{generate, Trace, WorkloadConfig};
+
+/// A small FB-flavoured workload (fast enough for debug-mode tests).
+fn small_trace(seed: u64) -> Trace {
+    let cfg = WorkloadConfig {
+        jobs: 120,
+        duration: SimDuration::from_hours(2),
+        ..WorkloadConfig::facebook()
+    };
+    generate(&cfg, seed)
+}
+
+/// A small cluster: 4 workers with scaled-down tiers so tiering pressure
+/// actually happens at this workload size.
+fn small_sim(scenario: Scenario) -> SimConfig {
+    SimConfig {
+        dfs: DfsConfig {
+            workers: 4,
+            tier_capacity: PerTier::from_fn(|t| match t {
+                StorageTier::Memory => ByteSize::gb(2),
+                StorageTier::Ssd => ByteSize::gb(24),
+                StorageTier::Hdd => ByteSize::gb(200),
+            }),
+            ..DfsConfig::default()
+        },
+        learner: LearnerConfig {
+            // Lighter trees keep debug-mode tests quick.
+            gbt: GbtParams {
+                rounds: 5,
+                max_depth: 6,
+                ..GbtParams::default()
+            },
+            features: FeatureConfig::default(),
+            min_points: 40,
+            buffer_max: 1500,
+            ..LearnerConfig::default()
+        },
+        scenario,
+        seed: 11,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn all_scenarios_run_to_completion() {
+    let trace = small_trace(3);
+    for scenario in [
+        Scenario::Hdfs,
+        Scenario::HdfsCache,
+        Scenario::OctopusFs,
+        Scenario::policy_pair("lru", "osa"),
+        Scenario::policy_pair("xgb", "xgb"),
+    ] {
+        let label = scenario.label();
+        let report = run_trace(small_sim(scenario), &trace);
+        assert_eq!(
+            report.jobs.len(),
+            trace.jobs.len(),
+            "{label}: every job must finish"
+        );
+        assert!(report.total_read() > ByteSize::ZERO, "{label}: reads happened");
+        for j in &report.jobs {
+            assert!(j.finish >= j.submit, "{label}: causality");
+            assert!(!j.tasks.is_empty(), "{label}: jobs have tasks");
+        }
+    }
+}
+
+#[test]
+fn hdfs_reads_everything_from_hdd() {
+    let trace = small_trace(5);
+    let report = run_trace(small_sim(Scenario::Hdfs), &trace);
+    assert_eq!(report.read_from_memory(), ByteSize::ZERO);
+    assert_eq!(
+        report.bytes_read_by_tier[StorageTier::Ssd.index()],
+        ByteSize::ZERO
+    );
+    assert_eq!(report.total_read(), report.bytes_read_by_tier[2]);
+}
+
+#[test]
+fn octopusfs_serves_some_reads_from_memory() {
+    let trace = small_trace(5);
+    let report = run_trace(small_sim(Scenario::OctopusFs), &trace);
+    let mem_frac = report.read_from_memory().fraction_of(report.total_read());
+    assert!(
+        mem_frac > 0.10,
+        "tiered placement should serve reads from memory: {mem_frac:.3}"
+    );
+}
+
+#[test]
+fn tiering_policies_beat_plain_octopusfs_on_memory_reads() {
+    let trace = small_trace(5);
+    let plain = run_trace(small_sim(Scenario::OctopusFs), &trace);
+    let managed = run_trace(small_sim(Scenario::policy_pair("lru", "osa")), &trace);
+    let plain_frac = plain.read_from_memory().fraction_of(plain.total_read());
+    let managed_frac = managed
+        .read_from_memory()
+        .fraction_of(managed.total_read());
+    assert!(
+        managed_frac > plain_frac,
+        "LRU-OSA should raise memory reads: {managed_frac:.3} vs {plain_frac:.3}"
+    );
+    // And movement must actually have happened.
+    assert!(managed.movement.transfers_completed > 0);
+}
+
+#[test]
+fn tiering_improves_completion_time_and_efficiency() {
+    let trace = small_trace(9);
+    let hdfs = run_trace(small_sim(Scenario::Hdfs), &trace);
+    let xgb = run_trace(small_sim(Scenario::policy_pair("xgb", "xgb")), &trace);
+    assert!(
+        xgb.mean_completion_secs() < hdfs.mean_completion_secs(),
+        "Octopus++ must beat HDFS on completion time: {:.2}s vs {:.2}s",
+        xgb.mean_completion_secs(),
+        hdfs.mean_completion_secs()
+    );
+    assert!(
+        xgb.total_task_seconds() < hdfs.total_task_seconds(),
+        "Octopus++ must beat HDFS on efficiency: {:.0} vs {:.0}",
+        xgb.total_task_seconds(),
+        hdfs.total_task_seconds()
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_report() {
+    let trace = small_trace(13);
+    let a = run_trace(small_sim(Scenario::policy_pair("lru", "osa")), &trace);
+    let b = run_trace(small_sim(Scenario::policy_pair("lru", "osa")), &trace);
+    assert_eq!(a, b, "identical config must replay identically");
+}
+
+#[test]
+fn dfsio_write_then_read() {
+    let cfg = DfsioConfig {
+        scenario: Scenario::OctopusFs,
+        dfs: DfsConfig {
+            workers: 4,
+            tier_capacity: PerTier::from_fn(|t| match t {
+                StorageTier::Memory => ByteSize::gb(1),
+                StorageTier::Ssd => ByteSize::gb(8),
+                StorageTier::Hdd => ByteSize::gb(64),
+            }),
+            ..DfsConfig::default()
+        },
+        total: ByteSize::gb(8),
+        file_size: ByteSize::mb(512),
+        window: ByteSize::gb(1),
+        ..DfsioConfig::default()
+    };
+    let report = run_dfsio(&cfg);
+    assert!(report.write.len() >= 4, "write series: {:?}", report.write);
+    assert!(report.read.len() >= 4, "read series: {:?}", report.read);
+    for (_, mbps) in report.write.iter().chain(&report.read) {
+        assert!(*mbps > 0.0 && mbps.is_finite());
+    }
+    // Memory-tier placement makes early reads much faster than HDD-only.
+    let hdd_cfg = DfsioConfig {
+        scenario: Scenario::Hdfs,
+        ..cfg
+    };
+    let hdd = run_dfsio(&hdd_cfg);
+    let first_read_tiered = report.read.first().unwrap().1;
+    let first_read_hdd = hdd.read.first().unwrap().1;
+    assert!(
+        first_read_tiered > first_read_hdd * 1.5,
+        "tiered read {first_read_tiered:.0} MB/s vs HDD {first_read_hdd:.0} MB/s"
+    );
+}

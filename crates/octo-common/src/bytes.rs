@@ -1,0 +1,224 @@
+//! Byte quantities.
+//!
+//! [`ByteSize`] is a `u64` newtype counting bytes. The codebase follows HDFS
+//! conventions: "MB" and "GB" are binary units (MiB/GiB), so the default
+//! block size is exactly `ByteSize::mb(128)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A number of bytes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+    /// One binary kilobyte (KiB).
+    pub const KB: u64 = 1024;
+    /// One binary megabyte (MiB).
+    pub const MB: u64 = 1024 * 1024;
+    /// One binary gigabyte (GiB).
+    pub const GB: u64 = 1024 * 1024 * 1024;
+
+    /// Builds a size from raw bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Builds a size from binary kilobytes.
+    pub const fn kb(n: u64) -> Self {
+        ByteSize(n * Self::KB)
+    }
+
+    /// Builds a size from binary megabytes.
+    pub const fn mb(n: u64) -> Self {
+        ByteSize(n * Self::MB)
+    }
+
+    /// Builds a size from binary gigabytes.
+    pub const fn gb(n: u64) -> Self {
+        ByteSize(n * Self::GB)
+    }
+
+    /// Builds a size from fractional megabytes, rounding to whole bytes.
+    /// Negative or non-finite inputs clamp to zero.
+    pub fn from_mb_f64(mb: f64) -> Self {
+        if !mb.is_finite() || mb <= 0.0 {
+            return ByteSize::ZERO;
+        }
+        ByteSize((mb * Self::MB as f64).round() as u64)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in binary megabytes as a float.
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / Self::MB as f64
+    }
+
+    /// Size in binary gigabytes as a float.
+    pub fn as_gb_f64(self) -> f64 {
+        self.0 as f64 / Self::GB as f64
+    }
+
+    /// True if this is zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(rhs.0))
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(rhs.0))
+    }
+
+    /// Number of fixed-size blocks needed to hold this many bytes
+    /// (ceiling division; zero bytes still occupy one block, matching the
+    /// HDFS convention that every file has at least one block).
+    pub fn blocks_of(self, block_size: ByteSize) -> u64 {
+        assert!(!block_size.is_zero(), "block size must be non-zero");
+        if self.0 == 0 {
+            return 1;
+        }
+        self.0.div_ceil(block_size.0)
+    }
+
+    /// The fraction `self / total`, or 0 when `total` is zero.
+    pub fn fraction_of(self, total: ByteSize) -> f64 {
+        if total.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        debug_assert!(self.0 >= rhs.0, "ByteSize subtraction underflow");
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= Self::GB {
+            write!(f, "{:.2}GB", self.as_gb_f64())
+        } else if self.0 >= Self::MB {
+            write!(f, "{:.2}MB", self.as_mb_f64())
+        } else if self.0 >= Self::KB {
+            write!(f, "{:.2}KB", self.0 as f64 / Self::KB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(ByteSize::kb(1).as_bytes(), 1024);
+        assert_eq!(ByteSize::mb(128).as_bytes(), 128 * 1024 * 1024);
+        assert_eq!(ByteSize::gb(4).as_bytes(), 4 * 1024 * 1024 * 1024);
+        assert_eq!(ByteSize::from_mb_f64(0.5).as_bytes(), 512 * 1024);
+        assert_eq!(ByteSize::from_mb_f64(-3.0), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn block_counting_matches_hdfs_conventions() {
+        let block = ByteSize::mb(128);
+        assert_eq!(ByteSize::ZERO.blocks_of(block), 1);
+        assert_eq!(ByteSize::mb(1).blocks_of(block), 1);
+        assert_eq!(ByteSize::mb(128).blocks_of(block), 1);
+        assert_eq!(ByteSize::mb(129).blocks_of(block), 2);
+        assert_eq!(ByteSize::mb(256).blocks_of(block), 2);
+        assert_eq!(ByteSize::gb(1).blocks_of(block), 8);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(ByteSize::mb(1).fraction_of(ByteSize::ZERO), 0.0);
+        let f = ByteSize::mb(50).fraction_of(ByteSize::mb(200));
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let a = ByteSize::mb(3);
+        let b = ByteSize::mb(1);
+        assert_eq!(a + b, ByteSize::mb(4));
+        assert_eq!(a - b, ByteSize::mb(2));
+        assert_eq!(a * 2, ByteSize::mb(6));
+        assert_eq!(a / 3, ByteSize::mb(1));
+        let total: ByteSize = [a, b, b].into_iter().sum();
+        assert_eq!(total, ByteSize::mb(5));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(ByteSize::from_bytes(10).to_string(), "10B");
+        assert_eq!(ByteSize::kb(2).to_string(), "2.00KB");
+        assert_eq!(ByteSize::mb(128).to_string(), "128.00MB");
+        assert_eq!(ByteSize::gb(3).to_string(), "3.00GB");
+    }
+}

@@ -1,0 +1,69 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, OctoError>;
+
+/// Errors surfaced by the DFS, simulator and learning components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OctoError {
+    /// A namespace path did not resolve to an existing entry.
+    NotFound(String),
+    /// An entry already exists where a new one was being created.
+    AlreadyExists(String),
+    /// The operation target was the wrong kind (e.g. a directory where a
+    /// file was expected).
+    InvalidArgument(String),
+    /// A storage device or tier did not have room for the requested bytes.
+    OutOfCapacity(String),
+    /// The system reached a state the caller is not allowed to act on
+    /// (e.g. deleting a file with transfers in flight).
+    InvalidState(String),
+    /// A configuration value failed validation.
+    Config(String),
+}
+
+impl OctoError {
+    /// Short machine-readable category label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OctoError::NotFound(_) => "not_found",
+            OctoError::AlreadyExists(_) => "already_exists",
+            OctoError::InvalidArgument(_) => "invalid_argument",
+            OctoError::OutOfCapacity(_) => "out_of_capacity",
+            OctoError::InvalidState(_) => "invalid_state",
+            OctoError::Config(_) => "config",
+        }
+    }
+}
+
+impl fmt::Display for OctoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (label, msg) = match self {
+            OctoError::NotFound(m) => ("not found", m),
+            OctoError::AlreadyExists(m) => ("already exists", m),
+            OctoError::InvalidArgument(m) => ("invalid argument", m),
+            OctoError::OutOfCapacity(m) => ("out of capacity", m),
+            OctoError::InvalidState(m) => ("invalid state", m),
+            OctoError::Config(m) => ("configuration error", m),
+        };
+        write!(f, "{label}: {msg}")
+    }
+}
+
+impl std::error::Error for OctoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = OctoError::NotFound("/data/input".into());
+        assert_eq!(e.to_string(), "not found: /data/input");
+        assert_eq!(e.kind(), "not_found");
+        let e = OctoError::OutOfCapacity("mem tier".into());
+        assert_eq!(e.kind(), "out_of_capacity");
+    }
+}

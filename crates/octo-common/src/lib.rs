@@ -1,0 +1,23 @@
+//! Shared primitives for the Octopus++ reproduction.
+//!
+//! This crate holds the vocabulary types used across every other crate in the
+//! workspace: simulated [`time`], [`bytes`] quantities, entity [`ids`], the
+//! storage [`tier`] lattice, deterministic [`rng`] helpers, and the common
+//! [`error`] type.
+//!
+//! Everything here is deliberately dependency-light and `Copy`-friendly so the
+//! simulator hot paths stay allocation-free.
+
+pub mod bytes;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod tier;
+pub mod time;
+
+pub use bytes::ByteSize;
+pub use error::{OctoError, Result};
+pub use ids::{BlockId, FileId, FlowId, IdGen, JobId, NodeId, TaskId};
+pub use rng::{DetRng, ZipfSampler};
+pub use tier::{PerTier, StorageTier};
+pub use time::{SimDuration, SimTime};

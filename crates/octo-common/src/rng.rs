@@ -1,0 +1,231 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic component in the workspace draws from a [`DetRng`] seeded
+//! explicitly, so a full experiment is reproducible bit-for-bit from its seed.
+//! Besides the uniform primitives re-exported from `rand`, this module adds
+//! the samplers the workload synthesizer needs: exponential inter-arrivals,
+//! log-normal sizes, and Zipf-like popularity (implemented directly so we do
+//! not pull in `rand_distr`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator with domain-specific samplers.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator. Mixing in `stream` lets
+    /// subsystems split one experiment seed into decorrelated streams
+    /// (workload, placement noise, ...) without sharing state.
+    pub fn derive(&self, stream: u64) -> DetRng {
+        // SplitMix64 finalizer over (a draw from self, stream) gives a
+        // well-spread child seed even for small consecutive stream ids.
+        let mut z = self
+            .inner
+            .clone()
+            .next_u64()
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DetRng::seed_from_u64(z)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform `u64` in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// A uniform `usize` index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse-CDF; (1 - u) avoids ln(0).
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Log-normally distributed value where the *underlying normal* has the
+    /// given mu and sigma (standard parameterization).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Standard normal via Box-Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.unit(); // (0, 1]
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Access to the raw `rand` generator for anything not covered above.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// A Zipf(α) sampler over ranks `0..n`.
+///
+/// Rank 0 is the most popular item. Built once (O(n)) then sampled in
+/// O(log n) via binary search on the precomputed CDF — plenty fast for the
+/// file-popularity distributions in this workspace (n in the low thousands).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skew `alpha` (`alpha = 0` is
+    /// uniform; production traces are well fit by `alpha` around 0.9–1.1).
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point leaving the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is exactly one rank (the degenerate sampler).
+    pub fn is_empty(&self) -> bool {
+        false // by construction n > 0
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_decorrelate() {
+        let root = DetRng::seed_from_u64(7);
+        let mut a = root.derive(0);
+        let mut b = root.derive(1);
+        let same = (0..100).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 5, "derived streams should not track each other");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = 21.6;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() / mean < 0.05,
+            "empirical mean {emp} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mass: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2 * counts[50]);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from_u64(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

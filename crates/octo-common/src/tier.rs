@@ -1,0 +1,195 @@
+//! The storage tier lattice.
+//!
+//! OctopusFS exposes three locally attached storage media per node. Tiers are
+//! totally ordered by performance: `Memory > Ssd > Hdd`. "Upgrading" a replica
+//! moves it to a higher (faster) tier, "downgrading" to a lower one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the storage media attached to every cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageTier {
+    /// DRAM-backed block storage (fastest, scarcest).
+    Memory,
+    /// Local SATA/NVMe solid-state drive.
+    Ssd,
+    /// Local spinning disk (slowest, most plentiful).
+    Hdd,
+}
+
+impl StorageTier {
+    /// All tiers from highest (fastest) to lowest.
+    pub const ALL: [StorageTier; 3] = [StorageTier::Memory, StorageTier::Ssd, StorageTier::Hdd];
+
+    /// A dense index for per-tier arrays: Memory=0, Ssd=1, Hdd=2.
+    pub const fn index(self) -> usize {
+        match self {
+            StorageTier::Memory => 0,
+            StorageTier::Ssd => 1,
+            StorageTier::Hdd => 2,
+        }
+    }
+
+    /// The tier with the given dense index, if in range.
+    pub const fn from_index(i: usize) -> Option<StorageTier> {
+        match i {
+            0 => Some(StorageTier::Memory),
+            1 => Some(StorageTier::Ssd),
+            2 => Some(StorageTier::Hdd),
+            _ => None,
+        }
+    }
+
+    /// A performance rank where larger is faster (Memory=2, Ssd=1, Hdd=0).
+    pub const fn rank(self) -> u8 {
+        match self {
+            StorageTier::Memory => 2,
+            StorageTier::Ssd => 1,
+            StorageTier::Hdd => 0,
+        }
+    }
+
+    /// True if `self` is a faster tier than `other`.
+    pub fn is_higher_than(self, other: StorageTier) -> bool {
+        self.rank() > other.rank()
+    }
+
+    /// The next tier up (faster), or `None` from Memory.
+    pub const fn higher(self) -> Option<StorageTier> {
+        match self {
+            StorageTier::Memory => None,
+            StorageTier::Ssd => Some(StorageTier::Memory),
+            StorageTier::Hdd => Some(StorageTier::Ssd),
+        }
+    }
+
+    /// The next tier down (slower), or `None` from Hdd.
+    pub const fn lower(self) -> Option<StorageTier> {
+        match self {
+            StorageTier::Memory => Some(StorageTier::Ssd),
+            StorageTier::Ssd => Some(StorageTier::Hdd),
+            StorageTier::Hdd => None,
+        }
+    }
+
+    /// All tiers strictly below `self`, ordered from highest to lowest.
+    pub fn tiers_below(self) -> impl Iterator<Item = StorageTier> {
+        StorageTier::ALL
+            .into_iter()
+            .filter(move |t| self.is_higher_than(*t))
+    }
+
+    /// All tiers strictly above `self`, ordered from highest to lowest.
+    pub fn tiers_above(self) -> impl Iterator<Item = StorageTier> {
+        StorageTier::ALL
+            .into_iter()
+            .filter(move |t| t.is_higher_than(self))
+    }
+
+    /// Short uppercase label used in reports ("MEM", "SSD", "HDD").
+    pub const fn label(self) -> &'static str {
+        match self {
+            StorageTier::Memory => "MEM",
+            StorageTier::Ssd => "SSD",
+            StorageTier::Hdd => "HDD",
+        }
+    }
+}
+
+impl fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fixed-size map from tier to `T`, indexed by [`StorageTier::index`].
+///
+/// Used for per-tier capacities, counters and statistics throughout the
+/// workspace; cheaper and clearer than a `HashMap<StorageTier, T>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PerTier<T> {
+    values: [T; 3],
+}
+
+impl<T> PerTier<T> {
+    /// Builds a map by evaluating `f` for each tier (Memory, Ssd, Hdd order).
+    pub fn from_fn(mut f: impl FnMut(StorageTier) -> T) -> Self {
+        PerTier {
+            values: [
+                f(StorageTier::Memory),
+                f(StorageTier::Ssd),
+                f(StorageTier::Hdd),
+            ],
+        }
+    }
+
+    /// Shared access to the entry for `tier`.
+    pub fn get(&self, tier: StorageTier) -> &T {
+        &self.values[tier.index()]
+    }
+
+    /// Mutable access to the entry for `tier`.
+    pub fn get_mut(&mut self, tier: StorageTier) -> &mut T {
+        &mut self.values[tier.index()]
+    }
+
+    /// Iterates `(tier, &value)` pairs from highest tier to lowest.
+    pub fn iter(&self) -> impl Iterator<Item = (StorageTier, &T)> {
+        StorageTier::ALL.iter().map(move |t| (*t, self.get(*t)))
+    }
+}
+
+impl<T: Clone> PerTier<T> {
+    /// Builds a map with the same value for every tier.
+    pub fn splat(value: T) -> Self {
+        PerTier {
+            values: [value.clone(), value.clone(), value],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_ordering() {
+        assert!(StorageTier::Memory.is_higher_than(StorageTier::Ssd));
+        assert!(StorageTier::Ssd.is_higher_than(StorageTier::Hdd));
+        assert!(!StorageTier::Hdd.is_higher_than(StorageTier::Hdd));
+        assert_eq!(StorageTier::Ssd.higher(), Some(StorageTier::Memory));
+        assert_eq!(StorageTier::Memory.higher(), None);
+        assert_eq!(StorageTier::Hdd.lower(), None);
+        assert_eq!(StorageTier::Memory.lower(), Some(StorageTier::Ssd));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for t in StorageTier::ALL {
+            assert_eq!(StorageTier::from_index(t.index()), Some(t));
+        }
+        assert_eq!(StorageTier::from_index(3), None);
+    }
+
+    #[test]
+    fn tiers_below_and_above() {
+        let below: Vec<_> = StorageTier::Memory.tiers_below().collect();
+        assert_eq!(below, vec![StorageTier::Ssd, StorageTier::Hdd]);
+        let above: Vec<_> = StorageTier::Hdd.tiers_above().collect();
+        assert_eq!(above, vec![StorageTier::Memory, StorageTier::Ssd]);
+        assert_eq!(StorageTier::Memory.tiers_above().count(), 0);
+    }
+
+    #[test]
+    fn per_tier_map() {
+        let mut m = PerTier::from_fn(|t| t.rank() as u32);
+        assert_eq!(*m.get(StorageTier::Memory), 2);
+        *m.get_mut(StorageTier::Hdd) = 42;
+        assert_eq!(*m.get(StorageTier::Hdd), 42);
+        let labels: Vec<_> = m.iter().map(|(t, _)| t.label()).collect();
+        assert_eq!(labels, vec!["MEM", "SSD", "HDD"]);
+        let s: PerTier<u8> = PerTier::splat(7);
+        assert_eq!(*s.get(StorageTier::Ssd), 7);
+    }
+}

@@ -1,0 +1,363 @@
+//! The Block Manager: block → replica locations (Figure 3).
+//!
+//! Besides the per-block replica lists, the manager maintains an inverted
+//! index `tier → files with at least one block replica on that tier`, which
+//! is what downgrade policies enumerate when a tier fills up. Replicas that
+//! are the *source* of an in-flight move are flagged `moving`: they remain
+//! readable but cannot be selected for another transfer.
+
+use octo_common::{BlockId, ByteSize, FileId, NodeId, OctoError, PerTier, Result, StorageTier};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// One stored copy of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Replica {
+    /// Node hosting the copy.
+    pub node: NodeId,
+    /// Tier of the device holding the copy.
+    pub tier: StorageTier,
+    /// True while this copy is the source of an in-flight transfer.
+    pub moving: bool,
+}
+
+/// Metadata of a single block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// This block's id.
+    pub id: BlockId,
+    /// Owning file.
+    pub file: FileId,
+    /// Position within the file (0-based).
+    pub index: u32,
+    /// Actual bytes in this block (the last block of a file may be short).
+    pub size: ByteSize,
+    replicas: Vec<Replica>,
+}
+
+impl BlockInfo {
+    /// All replicas of this block.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The replica on `(node, tier)`, if present.
+    pub fn replica_at(&self, node: NodeId, tier: StorageTier) -> Option<&Replica> {
+        self.replicas
+            .iter()
+            .find(|r| r.node == node && r.tier == tier)
+    }
+
+    /// The first non-moving replica on `tier`, if any.
+    pub fn replica_on_tier(&self, tier: StorageTier) -> Option<&Replica> {
+        self.replicas.iter().find(|r| r.tier == tier && !r.moving)
+    }
+
+    /// Nodes already holding a copy (placement must avoid them).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.replicas.iter().map(|r| r.node)
+    }
+}
+
+/// The cluster-wide block catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockManager {
+    blocks: Vec<Option<BlockInfo>>,
+    /// `tier -> files with >= 1 block replica on it` (deterministic order).
+    files_on_tier: PerTier<BTreeSet<FileId>>,
+    /// `file -> per-tier count of block replicas`.
+    tier_counts: HashMap<FileId, PerTier<u32>>,
+}
+
+impl BlockManager {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new block (initially replica-less) and returns its id.
+    pub fn create_block(&mut self, file: FileId, index: u32, size: ByteSize) -> BlockId {
+        let id = BlockId(self.blocks.len() as u64);
+        self.blocks.push(Some(BlockInfo {
+            id,
+            file,
+            index,
+            size,
+            replicas: Vec::new(),
+        }));
+        id
+    }
+
+    /// Metadata of a live block.
+    pub fn block(&self, id: BlockId) -> &BlockInfo {
+        self.blocks[id.index()]
+            .as_ref()
+            .expect("block id refers to a deleted block")
+    }
+
+    fn block_mut(&mut self, id: BlockId) -> &mut BlockInfo {
+        self.blocks[id.index()]
+            .as_mut()
+            .expect("block id refers to a deleted block")
+    }
+
+    fn bump_tier_count(&mut self, file: FileId, tier: StorageTier, delta: i32) {
+        let counts = self.tier_counts.entry(file).or_default();
+        let c = counts.get_mut(tier);
+        if delta > 0 {
+            *c += delta as u32;
+            if *c == delta as u32 {
+                self.files_on_tier.get_mut(tier).insert(file);
+            }
+        } else {
+            debug_assert!(*c >= (-delta) as u32, "tier count underflow");
+            *c = c.saturating_sub((-delta) as u32);
+            if *c == 0 {
+                self.files_on_tier.get_mut(tier).remove(&file);
+            }
+        }
+    }
+
+    /// Adds a replica of `block` on `(node, tier)`.
+    ///
+    /// Fails if that exact device already holds a copy. Distinct *nodes* for
+    /// fault tolerance are a placement concern, not enforced here: an HDFS
+    /// cache copy deliberately lands on the node that already stores the
+    /// disk replica (Figure 1a).
+    pub fn add_replica(&mut self, block: BlockId, node: NodeId, tier: StorageTier) -> Result<()> {
+        let file = {
+            let b = self.block_mut(block);
+            if b.replicas.iter().any(|r| r.node == node && r.tier == tier) {
+                return Err(OctoError::InvalidState(format!(
+                    "{node}/{tier} already holds a replica of {block}"
+                )));
+            }
+            b.replicas.push(Replica {
+                node,
+                tier,
+                moving: false,
+            });
+            b.file
+        };
+        self.bump_tier_count(file, tier, 1);
+        Ok(())
+    }
+
+    /// Removes the replica of `block` at `(node, tier)`.
+    pub fn remove_replica(&mut self, block: BlockId, node: NodeId, tier: StorageTier) -> Result<()> {
+        let file = {
+            let b = self.block_mut(block);
+            let before = b.replicas.len();
+            b.replicas.retain(|r| !(r.node == node && r.tier == tier));
+            if b.replicas.len() == before {
+                return Err(OctoError::NotFound(format!(
+                    "no replica of {block} at {node}/{tier}"
+                )));
+            }
+            b.file
+        };
+        self.bump_tier_count(file, tier, -1);
+        Ok(())
+    }
+
+    /// Relocates the replica at `(from_node, from_tier)` to
+    /// `(to_node, to_tier)` and clears its moving flag (transfer landed).
+    pub fn relocate_replica(
+        &mut self,
+        block: BlockId,
+        from: (NodeId, StorageTier),
+        to: (NodeId, StorageTier),
+    ) -> Result<()> {
+        let file = {
+            let b = self.block_mut(block);
+            // The destination node must not already hold a different copy.
+            if to.0 != from.0 && b.replicas.iter().any(|r| r.node == to.0) {
+                return Err(OctoError::InvalidState(format!(
+                    "{} already holds a replica of {block}",
+                    to.0
+                )));
+            }
+            let r = b
+                .replicas
+                .iter_mut()
+                .find(|r| r.node == from.0 && r.tier == from.1)
+                .ok_or_else(|| {
+                    OctoError::NotFound(format!("no replica of {block} at {}/{}", from.0, from.1))
+                })?;
+            r.node = to.0;
+            r.tier = to.1;
+            r.moving = false;
+            b.file
+        };
+        self.bump_tier_count(file, from.1, -1);
+        self.bump_tier_count(file, to.1, 1);
+        Ok(())
+    }
+
+    /// Flags or clears the moving state of a replica.
+    pub fn set_moving(
+        &mut self,
+        block: BlockId,
+        node: NodeId,
+        tier: StorageTier,
+        moving: bool,
+    ) -> Result<()> {
+        let b = self.block_mut(block);
+        let r = b
+            .replicas
+            .iter_mut()
+            .find(|r| r.node == node && r.tier == tier)
+            .ok_or_else(|| {
+                OctoError::NotFound(format!("no replica of {block} at {node}/{tier}"))
+            })?;
+        r.moving = moving;
+        Ok(())
+    }
+
+    /// Deletes a block entirely, returning the replicas whose space must be
+    /// freed.
+    pub fn delete_block(&mut self, block: BlockId) -> Vec<Replica> {
+        let info = self.blocks[block.index()]
+            .take()
+            .expect("deleting a dead block");
+        for r in &info.replicas {
+            self.bump_tier_count(info.file, r.tier, -1);
+        }
+        // Drop the per-file entry once no replica remains anywhere.
+        if let Some(counts) = self.tier_counts.get(&info.file) {
+            if counts.iter().all(|(_, c)| *c == 0) {
+                self.tier_counts.remove(&info.file);
+            }
+        }
+        info.replicas
+    }
+
+    /// True if `file` has at least one block replica on `tier`.
+    pub fn file_on_tier(&self, file: FileId, tier: StorageTier) -> bool {
+        self.files_on_tier.get(tier).contains(&file)
+    }
+
+    /// Number of block replicas `file` has on `tier`.
+    pub fn file_tier_count(&self, file: FileId, tier: StorageTier) -> u32 {
+        self.tier_counts
+            .get(&file)
+            .map_or(0, |c| *c.get(tier))
+    }
+
+    /// Files with at least one block replica on `tier`, ascending by id.
+    pub fn files_on_tier(&self, tier: StorageTier) -> impl Iterator<Item = FileId> + '_ {
+        self.files_on_tier.get(tier).iter().copied()
+    }
+
+    /// Number of live blocks (diagnostics).
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: StorageTier = StorageTier::Memory;
+    const SSD: StorageTier = StorageTier::Ssd;
+    const HDD: StorageTier = StorageTier::Hdd;
+
+    #[test]
+    fn replica_lifecycle_updates_tier_index() {
+        let mut bm = BlockManager::new();
+        let f = FileId(0);
+        let b = bm.create_block(f, 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        bm.add_replica(b, NodeId(1), SSD).unwrap();
+        assert!(bm.file_on_tier(f, MEM));
+        assert!(bm.file_on_tier(f, SSD));
+        assert!(!bm.file_on_tier(f, HDD));
+        assert_eq!(bm.file_tier_count(f, MEM), 1);
+
+        bm.remove_replica(b, NodeId(0), MEM).unwrap();
+        assert!(!bm.file_on_tier(f, MEM));
+        assert_eq!(bm.files_on_tier(SSD).collect::<Vec<_>>(), vec![f]);
+    }
+
+    #[test]
+    fn duplicate_device_rejected_but_cache_colocation_allowed() {
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), HDD).unwrap();
+        // A cache copy on the same node, different tier, is legal.
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        // The same device twice is not.
+        let err = bm.add_replica(b, NodeId(0), MEM).unwrap_err();
+        assert_eq!(err.kind(), "invalid_state");
+    }
+
+    #[test]
+    fn relocate_moves_between_tiers() {
+        let mut bm = BlockManager::new();
+        let f = FileId(3);
+        let b = bm.create_block(f, 0, ByteSize::mb(64));
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        bm.set_moving(b, NodeId(0), MEM, true).unwrap();
+        assert!(bm.block(b).replica_on_tier(MEM).is_none(), "moving replicas hidden");
+
+        bm.relocate_replica(b, (NodeId(0), MEM), (NodeId(0), SSD))
+            .unwrap();
+        assert!(!bm.file_on_tier(f, MEM));
+        assert!(bm.file_on_tier(f, SSD));
+        let r = bm.block(b).replica_at(NodeId(0), SSD).unwrap();
+        assert!(!r.moving, "landing clears the moving flag");
+    }
+
+    #[test]
+    fn relocate_rejects_node_collision() {
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(64));
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        bm.add_replica(b, NodeId(1), HDD).unwrap();
+        let err = bm
+            .relocate_replica(b, (NodeId(0), MEM), (NodeId(1), SSD))
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_state");
+    }
+
+    #[test]
+    fn multi_block_file_counts() {
+        let mut bm = BlockManager::new();
+        let f = FileId(9);
+        let b0 = bm.create_block(f, 0, ByteSize::mb(128));
+        let b1 = bm.create_block(f, 1, ByteSize::mb(40));
+        bm.add_replica(b0, NodeId(0), MEM).unwrap();
+        bm.add_replica(b1, NodeId(1), MEM).unwrap();
+        assert_eq!(bm.file_tier_count(f, MEM), 2);
+        bm.remove_replica(b0, NodeId(0), MEM).unwrap();
+        // Still on the tier through the second block.
+        assert!(bm.file_on_tier(f, MEM));
+        bm.remove_replica(b1, NodeId(1), MEM).unwrap();
+        assert!(!bm.file_on_tier(f, MEM));
+    }
+
+    #[test]
+    fn delete_block_returns_replicas_to_free() {
+        let mut bm = BlockManager::new();
+        let f = FileId(1);
+        let b = bm.create_block(f, 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        bm.add_replica(b, NodeId(2), HDD).unwrap();
+        let freed = bm.delete_block(b);
+        assert_eq!(freed.len(), 2);
+        assert!(!bm.file_on_tier(f, MEM));
+        assert_eq!(bm.live_blocks(), 0);
+    }
+
+    #[test]
+    fn files_on_tier_is_sorted() {
+        let mut bm = BlockManager::new();
+        for id in [5u64, 1, 3] {
+            let b = bm.create_block(FileId(id), 0, ByteSize::mb(1));
+            bm.add_replica(b, NodeId(0), HDD).unwrap();
+        }
+        let files: Vec<_> = bm.files_on_tier(HDD).collect();
+        assert_eq!(files, vec![FileId(1), FileId(3), FileId(5)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cluster and file-system configuration.
+
+use octo_common::{ByteSize, OctoError, PerTier, Result, StorageTier};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the cluster hardware and DFS parameters.
+///
+/// Defaults mirror the paper's testbed (§7): 11 workers, three tiers sized
+/// 4 GB / 64 GB / 400 GB per node, 128 MB blocks, replication factor 3, and
+/// device bandwidths consistent with the DFSIO throughputs of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DfsConfig {
+    /// Number of worker nodes storing blocks.
+    pub workers: u32,
+    /// File block size.
+    pub block_size: ByteSize,
+    /// Default number of replicas per block.
+    pub replication: u32,
+    /// Per-node capacity of each storage tier.
+    pub tier_capacity: PerTier<ByteSize>,
+    /// Per-device read/write bandwidth of each tier, in MB/s (binary MB).
+    pub tier_bandwidth_mbps: PerTier<f64>,
+    /// Per-node network interface bandwidth in MB/s (remote reads and
+    /// replication pipelines cross the NIC).
+    pub nic_bandwidth_mbps: f64,
+    /// Placement refuses to fill a device beyond this fraction; the gap
+    /// leaves room for in-flight transfers to land.
+    pub placement_fill_limit: f64,
+    /// How many recent access timestamps to retain per file (the paper's
+    /// `k`, default 12; the ablation study also uses 6 and 18).
+    pub access_history: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            workers: 11,
+            block_size: ByteSize::mb(128),
+            replication: 3,
+            tier_capacity: PerTier::from_fn(|t| match t {
+                StorageTier::Memory => ByteSize::gb(4),
+                StorageTier::Ssd => ByteSize::gb(64),
+                StorageTier::Hdd => ByteSize::gb(400),
+            }),
+            // Single-stream device throughputs. HDD ~130 MB/s sequential;
+            // SATA SSD ~500 MB/s; memory-backed storage ~6 GB/s.
+            tier_bandwidth_mbps: PerTier::from_fn(|t| match t {
+                StorageTier::Memory => 6000.0,
+                StorageTier::Ssd => 500.0,
+                StorageTier::Hdd => 130.0,
+            }),
+            // 10 GbE, ~1.1 GB/s.
+            nic_bandwidth_mbps: 1100.0,
+            placement_fill_limit: 0.95,
+            access_history: 12,
+        }
+    }
+}
+
+impl DfsConfig {
+    /// Validates the configuration, returning the first problem found.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(OctoError::Config("workers must be >= 1".into()));
+        }
+        if self.block_size.is_zero() {
+            return Err(OctoError::Config("block_size must be non-zero".into()));
+        }
+        if self.replication == 0 {
+            return Err(OctoError::Config("replication must be >= 1".into()));
+        }
+        if self.replication > self.workers {
+            return Err(OctoError::Config(format!(
+                "replication {} exceeds worker count {}",
+                self.replication, self.workers
+            )));
+        }
+        for (tier, cap) in self.tier_capacity.iter() {
+            if cap.is_zero() {
+                return Err(OctoError::Config(format!("{tier} capacity is zero")));
+            }
+        }
+        for (tier, bw) in self.tier_bandwidth_mbps.iter() {
+            if !(bw.is_finite() && *bw > 0.0) {
+                return Err(OctoError::Config(format!("{tier} bandwidth must be > 0")));
+            }
+        }
+        if !(self.nic_bandwidth_mbps.is_finite() && self.nic_bandwidth_mbps > 0.0) {
+            return Err(OctoError::Config("NIC bandwidth must be > 0".into()));
+        }
+        if !(0.5..=1.0).contains(&self.placement_fill_limit) {
+            return Err(OctoError::Config(format!(
+                "placement_fill_limit must be in [0.5, 1.0], got {}",
+                self.placement_fill_limit
+            )));
+        }
+        if self.access_history == 0 {
+            return Err(OctoError::Config("access_history must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Total capacity of a tier across all workers.
+    pub fn cluster_tier_capacity(&self, tier: StorageTier) -> ByteSize {
+        *self.tier_capacity.get(tier) * self.workers as u64
+    }
+
+    /// Bandwidth of one tier device in bytes/second.
+    pub fn tier_bandwidth_bps(&self, tier: StorageTier) -> f64 {
+        self.tier_bandwidth_mbps.get(tier) * ByteSize::MB as f64
+    }
+
+    /// NIC bandwidth in bytes/second.
+    pub fn nic_bandwidth_bps(&self) -> f64 {
+        self.nic_bandwidth_mbps * ByteSize::MB as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = DfsConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.workers, 11);
+        assert_eq!(c.block_size, ByteSize::mb(128));
+        assert_eq!(c.replication, 3);
+        assert_eq!(*c.tier_capacity.get(StorageTier::Memory), ByteSize::gb(4));
+        // Aggregated memory: 44 GB — the paper's DFSIO curve bends at ~42 GB.
+        assert_eq!(
+            c.cluster_tier_capacity(StorageTier::Memory),
+            ByteSize::gb(44)
+        );
+        assert_eq!(c.access_history, 12);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let bad = |f: fn(&mut DfsConfig)| {
+            let mut c = DfsConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.workers = 0));
+        assert!(bad(|c| c.replication = 0));
+        assert!(bad(|c| c.replication = 99));
+        assert!(bad(|c| c.block_size = ByteSize::ZERO));
+        assert!(bad(|c| c.nic_bandwidth_mbps = 0.0));
+        assert!(bad(|c| c.placement_fill_limit = 1.5));
+        assert!(bad(|c| c.access_history = 0));
+        assert!(bad(|c| *c.tier_capacity.get_mut(StorageTier::Ssd) = ByteSize::ZERO));
+        assert!(bad(|c| *c.tier_bandwidth_mbps.get_mut(StorageTier::Hdd) = -1.0));
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let c = DfsConfig::default();
+        assert_eq!(
+            c.tier_bandwidth_bps(StorageTier::Hdd),
+            130.0 * 1024.0 * 1024.0
+        );
+        assert_eq!(c.nic_bandwidth_bps(), 1100.0 * 1024.0 * 1024.0);
+    }
+}

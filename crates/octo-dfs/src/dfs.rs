@@ -1,0 +1,690 @@
+//! The tiered DFS facade: the Master of Figure 3.
+//!
+//! [`TieredDfs`] owns the namespace, file table, block manager, node manager,
+//! statistics registry, placement policy and transfer table, and exposes the
+//! operations the compute layer and the tiering policies drive:
+//!
+//! * file lifecycle — [`TieredDfs::create_file`] / [`TieredDfs::commit_file`]
+//!   / [`TieredDfs::delete_file`] / [`TieredDfs::record_access`];
+//! * replica movement — [`TieredDfs::plan_downgrade`],
+//!   [`TieredDfs::plan_upgrade`], [`TieredDfs::plan_cache_copy`],
+//!   [`TieredDfs::plan_drop_replicas`], completed or cancelled by
+//!   [`TieredDfs::complete_transfer`] / [`TieredDfs::cancel_transfer`];
+//! * introspection — tier utilization, per-file statistics, movement stats.
+//!
+//! Transfers are two-phase: planning reserves destination space and flags
+//! source replicas as moving (they stay readable but cannot be re-selected);
+//! completion relocates metadata and settles the space accounting. A file
+//! has at most one transfer in flight, and cannot be deleted while one is.
+
+use crate::block::{BlockInfo, BlockManager};
+use crate::config::DfsConfig;
+use crate::files::{FileMeta, FileState, FileTable};
+use crate::namespace::{Entry, Namespace};
+use crate::node::NodeManager;
+use crate::placement::{PlacementPolicy, PlacementWeights};
+use crate::replication::{
+    BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind, TransferTable,
+};
+use crate::stats::{AccessStats, StatsRegistry};
+use octo_common::{
+    BlockId, ByteSize, FileId, NodeId, OctoError, Result, SimTime, StorageTier,
+};
+
+/// Where a downgrade should land (§5.3: normally the placement policy picks
+/// the tier; `Delete` reproduces plain cache eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DowngradeTarget {
+    /// Let the multi-objective placement policy pick among all lower tiers.
+    Auto,
+    /// Force a specific lower tier.
+    Tier(StorageTier),
+    /// Delete the replica instead of moving it.
+    Delete,
+}
+
+/// The replica layout chosen for one new block.
+#[derive(Debug, Clone)]
+pub struct BlockWrite {
+    /// The new block.
+    pub block: BlockId,
+    /// Bytes in this block.
+    pub size: ByteSize,
+    /// Chosen `(node, tier)` for each replica.
+    pub replicas: Vec<(NodeId, StorageTier)>,
+}
+
+/// Result of [`TieredDfs::create_file`]: what the client pipeline must write.
+#[derive(Debug, Clone)]
+pub struct WritePlan {
+    /// The new file.
+    pub file: FileId,
+    /// Per-block replica layouts.
+    pub blocks: Vec<BlockWrite>,
+}
+
+/// The tiered distributed file system.
+#[derive(Debug)]
+pub struct TieredDfs {
+    config: DfsConfig,
+    ns: Namespace,
+    files: FileTable,
+    blocks: BlockManager,
+    nodes: NodeManager,
+    stats: StatsRegistry,
+    placement: PlacementPolicy,
+    transfers: TransferTable,
+}
+
+impl TieredDfs {
+    /// Builds a DFS over the configured cluster with default placement.
+    pub fn new(config: DfsConfig) -> Result<Self> {
+        let placement =
+            PlacementPolicy::new(PlacementWeights::default(), config.placement_fill_limit);
+        Self::with_placement(config, placement)
+    }
+
+    /// Builds a DFS with a custom placement policy.
+    pub fn with_placement(config: DfsConfig, placement: PlacementPolicy) -> Result<Self> {
+        config.validate()?;
+        Ok(TieredDfs {
+            nodes: NodeManager::new(&config),
+            stats: StatsRegistry::new(config.access_history),
+            ns: Namespace::new(),
+            files: FileTable::new(),
+            blocks: BlockManager::new(),
+            placement,
+            transfers: TransferTable::new(),
+            config,
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Mutable access to the placement policy (e.g. to restrict initial
+    /// tiers for the HDFS baseline scenarios).
+    pub fn placement_mut(&mut self) -> &mut PlacementPolicy {
+        &mut self.placement
+    }
+
+    // ------------------------------------------------------------------
+    // File lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a file of `size` at `path` and chooses replica placements for
+    /// each of its blocks. Destination space is reserved; the file becomes
+    /// readable after [`TieredDfs::commit_file`].
+    pub fn create_file(&mut self, path: &str, size: ByteSize, now: SimTime) -> Result<WritePlan> {
+        let file = self.files.insert(path, size, now);
+        if let Err(e) = self.ns.create_file(path, file) {
+            self.files.remove(file);
+            return Err(e);
+        }
+
+        let n_blocks = size.blocks_of(self.config.block_size);
+        let mut plan_blocks = Vec::with_capacity(n_blocks as usize);
+        let mut remaining = size;
+        let mut rollback_ok = true;
+        for index in 0..n_blocks {
+            let bsize = remaining.min(self.config.block_size).max(ByteSize::from_bytes(1));
+            remaining = remaining.saturating_sub(self.config.block_size);
+            let placements =
+                self.placement
+                    .place_new_block(&self.nodes, bsize, self.config.replication);
+            if placements.is_empty() {
+                rollback_ok = false;
+                break;
+            }
+            let block = self.blocks.create_block(file, index as u32, bsize);
+            for &(node, tier) in &placements {
+                self.nodes
+                    .reserve(node, tier, bsize)
+                    .expect("placement verified capacity");
+                self.blocks
+                    .add_replica(block, node, tier)
+                    .expect("placement picked distinct nodes");
+            }
+            self.files
+                .get_mut(file)
+                .expect("file just inserted")
+                .blocks
+                .push(block);
+            plan_blocks.push(BlockWrite {
+                block,
+                size: bsize,
+                replicas: placements,
+            });
+        }
+
+        if !rollback_ok {
+            // Cluster out of space: undo everything.
+            for bw in &plan_blocks {
+                for &(node, tier) in &bw.replicas {
+                    self.nodes.release_reserved(node, tier, bw.size);
+                }
+                self.blocks.delete_block(bw.block);
+            }
+            self.ns.delete(path, false).expect("file path just created");
+            self.files.remove(file);
+            return Err(OctoError::OutOfCapacity(format!(
+                "no tier can hold a block of {path:?}"
+            )));
+        }
+
+        Ok(WritePlan {
+            file,
+            blocks: plan_blocks,
+        })
+    }
+
+    /// Marks a file fully written: settles reservations, makes it readable,
+    /// and starts tracking its access statistics.
+    pub fn commit_file(&mut self, file: FileId, now: SimTime) -> Result<()> {
+        let meta = self
+            .files
+            .get(file)
+            .ok_or_else(|| OctoError::NotFound(format!("{file}")))?;
+        if meta.state != FileState::Writing {
+            return Err(OctoError::InvalidState(format!("{file} already committed")));
+        }
+        let size = meta.size;
+        let block_ids = meta.blocks.clone();
+        for b in block_ids {
+            let info = self.blocks.block(b);
+            let bsize = info.size;
+            let replicas: Vec<(NodeId, StorageTier)> =
+                info.replicas().iter().map(|r| (r.node, r.tier)).collect();
+            for (node, tier) in replicas {
+                self.nodes.commit_reserved(node, tier, bsize);
+            }
+        }
+        let meta = self.files.get_mut(file).expect("checked above");
+        meta.state = FileState::Complete;
+        self.stats.on_create(file, size, now);
+        Ok(())
+    }
+
+    /// Records a read access to a committed file.
+    pub fn record_access(&mut self, file: FileId, now: SimTime) -> Result<()> {
+        let meta = self
+            .files
+            .get(file)
+            .ok_or_else(|| OctoError::NotFound(format!("{file}")))?;
+        if meta.state != FileState::Complete {
+            return Err(OctoError::InvalidState(format!("{file} is still writing")));
+        }
+        self.stats.on_access(file, now);
+        Ok(())
+    }
+
+    /// Deletes a committed file, freeing all replica space. Fails while a
+    /// transfer is in flight for it.
+    pub fn delete_file(&mut self, file: FileId) -> Result<ByteSize> {
+        let meta = self
+            .files
+            .get(file)
+            .ok_or_else(|| OctoError::NotFound(format!("{file}")))?;
+        if meta.in_flight > 0 {
+            return Err(OctoError::InvalidState(format!(
+                "{file} has transfers in flight"
+            )));
+        }
+        if meta.state != FileState::Complete {
+            return Err(OctoError::InvalidState(format!("{file} is still writing")));
+        }
+        let path = meta.path.clone();
+        let block_ids = meta.blocks.clone();
+        let mut freed = ByteSize::ZERO;
+        for b in block_ids {
+            let size = self.blocks.block(b).size;
+            for replica in self.blocks.delete_block(b) {
+                self.nodes.free_used(replica.node, replica.tier, size);
+                freed += size;
+            }
+        }
+        self.ns.delete(&path, false)?;
+        self.files.remove(file);
+        self.stats.on_delete(file);
+        Ok(freed)
+    }
+
+    // ------------------------------------------------------------------
+    // Replica movement (the Replication Manager's verbs)
+    // ------------------------------------------------------------------
+
+    fn movable_file(&self, file: FileId) -> Result<&FileMeta> {
+        let meta = self
+            .files
+            .get(file)
+            .ok_or_else(|| OctoError::NotFound(format!("{file}")))?;
+        if meta.state != FileState::Complete {
+            return Err(OctoError::InvalidState(format!("{file} is still writing")));
+        }
+        if meta.in_flight > 0 {
+            return Err(OctoError::InvalidState(format!(
+                "{file} already has a transfer in flight"
+            )));
+        }
+        Ok(meta)
+    }
+
+    /// True if the policy may schedule a transfer for `file` right now.
+    pub fn is_movable(&self, file: FileId) -> bool {
+        self.movable_file(file).is_ok()
+    }
+
+    fn finish_plan(
+        &mut self,
+        file: FileId,
+        kind: TransferKind,
+        actions: Vec<BlockTransfer>,
+    ) -> TransferId {
+        for bt in &actions {
+            match bt.action {
+                BlockAction::Move { from, .. } | BlockAction::Drop { from } => {
+                    self.blocks
+                        .set_moving(bt.block, from.0, from.1, true)
+                        .expect("source replica exists");
+                }
+                BlockAction::Copy { .. } => {}
+            }
+        }
+        self.files.get_mut(file).expect("validated").in_flight += 1;
+        self.transfers.insert(file, kind, actions)
+    }
+
+    fn rollback_reservations(&mut self, actions: &[BlockTransfer]) {
+        for bt in actions {
+            if let Some((node, tier)) = bt.action.destination() {
+                self.nodes.release_reserved(node, tier, bt.size);
+            }
+        }
+    }
+
+    /// Plans moving `file`'s replicas *off* `from_tier` (§5). Each block
+    /// replica on that tier is moved to the placement-chosen lower tier, or
+    /// deleted when `target` is [`DowngradeTarget::Delete`] or no lower tier
+    /// has room.
+    pub fn plan_downgrade(
+        &mut self,
+        file: FileId,
+        from_tier: StorageTier,
+        target: DowngradeTarget,
+    ) -> Result<TransferId> {
+        let meta = self.movable_file(file)?;
+        let block_ids = meta.blocks.clone();
+        let mut actions: Vec<BlockTransfer> = Vec::new();
+        for b in block_ids {
+            let info = self.blocks.block(b);
+            let Some(rep) = info.replica_on_tier(from_tier) else {
+                continue;
+            };
+            let src = (rep.node, from_tier);
+            let size = info.size;
+            let action = match target {
+                DowngradeTarget::Delete => BlockAction::Drop { from: src },
+                DowngradeTarget::Auto | DowngradeTarget::Tier(_) => {
+                    let allowed: Vec<StorageTier> = match target {
+                        DowngradeTarget::Tier(t) => {
+                            if !from_tier.is_higher_than(t) {
+                                self.rollback_reservations(&actions);
+                                return Err(OctoError::InvalidArgument(format!(
+                                    "{t} is not below {from_tier}"
+                                )));
+                            }
+                            vec![t]
+                        }
+                        _ => from_tier.tiers_below().collect(),
+                    };
+                    match self.placement.place_move(&self.nodes, info, &allowed, src.0) {
+                        Some(to) => {
+                            self.nodes
+                                .reserve(to.0, to.1, size)
+                                .expect("place_move verified capacity");
+                            BlockAction::Move { from: src, to }
+                        }
+                        // Nothing below has room: evict rather than stall.
+                        None => BlockAction::Drop { from: src },
+                    }
+                }
+            };
+            actions.push(BlockTransfer {
+                block: b,
+                size,
+                action,
+            });
+        }
+        if actions.is_empty() {
+            return Err(OctoError::NotFound(format!(
+                "{file} has no movable replica on {from_tier}"
+            )));
+        }
+        Ok(self.finish_plan(file, TransferKind::Downgrade, actions))
+    }
+
+    /// Plans moving `file` *onto* `to_tier` (§6): for every block lacking a
+    /// replica there, its lowest-tier replica is moved up. All-or-nothing:
+    /// if any block cannot be placed, the whole plan is abandoned.
+    pub fn plan_upgrade(&mut self, file: FileId, to_tier: StorageTier) -> Result<TransferId> {
+        let meta = self.movable_file(file)?;
+        let block_ids = meta.blocks.clone();
+        let mut actions: Vec<BlockTransfer> = Vec::new();
+        let mut fully_present = true;
+        for b in block_ids {
+            let info = self.blocks.block(b);
+            if info.replica_on_tier(to_tier).is_some() {
+                continue;
+            }
+            fully_present = false;
+            // Move the slowest copy up; replicas at or above the target stay.
+            let src = info
+                .replicas()
+                .iter()
+                .filter(|r| !r.moving && to_tier.is_higher_than(r.tier))
+                .min_by_key(|r| (r.tier.rank(), r.node))
+                .copied();
+            let Some(src) = src else {
+                self.rollback_reservations(&actions);
+                return Err(OctoError::InvalidState(format!(
+                    "{b} has no movable replica below {to_tier}"
+                )));
+            };
+            let size = info.size;
+            let Some(to) = self
+                .placement
+                .place_move(&self.nodes, info, &[to_tier], src.node)
+            else {
+                self.rollback_reservations(&actions);
+                return Err(OctoError::OutOfCapacity(format!(
+                    "{to_tier} cannot hold {b} ({size})"
+                )));
+            };
+            self.nodes
+                .reserve(to.0, to.1, size)
+                .expect("place_move verified capacity");
+            actions.push(BlockTransfer {
+                block: b,
+                size,
+                action: BlockAction::Move {
+                    from: (src.node, src.tier),
+                    to,
+                },
+            });
+        }
+        if fully_present {
+            return Err(OctoError::AlreadyExists(format!(
+                "{file} is already fully on {to_tier}"
+            )));
+        }
+        if actions.is_empty() {
+            return Err(OctoError::InvalidState(format!(
+                "{file} has no movable replicas below {to_tier}"
+            )));
+        }
+        Ok(self.finish_plan(file, TransferKind::Upgrade, actions))
+    }
+
+    /// Plans HDFS-cache style caching: an *additional* replica of every
+    /// block on `tier`, leaving existing replicas in place. All-or-nothing.
+    pub fn plan_cache_copy(&mut self, file: FileId, tier: StorageTier) -> Result<TransferId> {
+        let meta = self.movable_file(file)?;
+        let block_ids = meta.blocks.clone();
+        let mut actions: Vec<BlockTransfer> = Vec::new();
+        let mut fully_present = true;
+        for b in block_ids {
+            let info = self.blocks.block(b);
+            if info.replica_on_tier(tier).is_some() {
+                continue;
+            }
+            fully_present = false;
+            // Read from the fastest live copy.
+            let src = info
+                .replicas()
+                .iter()
+                .filter(|r| !r.moving && r.tier != tier)
+                .max_by_key(|r| (r.tier.rank(), std::cmp::Reverse(r.node)))
+                .copied();
+            let Some(src) = src else {
+                self.rollback_reservations(&actions);
+                return Err(OctoError::InvalidState(format!("{b} has no live replica")));
+            };
+            let size = info.size;
+            let Some(to) = self.placement.place_copy(&self.nodes, info, tier) else {
+                self.rollback_reservations(&actions);
+                return Err(OctoError::OutOfCapacity(format!(
+                    "{tier} cannot hold a copy of {b}"
+                )));
+            };
+            self.nodes
+                .reserve(to.0, to.1, size)
+                .expect("place_copy verified capacity");
+            actions.push(BlockTransfer {
+                block: b,
+                size,
+                action: BlockAction::Copy {
+                    from: (src.node, src.tier),
+                    to,
+                },
+            });
+        }
+        if fully_present {
+            return Err(OctoError::AlreadyExists(format!(
+                "{file} is already fully on {tier}"
+            )));
+        }
+        Ok(self.finish_plan(file, TransferKind::Upgrade, actions))
+    }
+
+    /// Plans deleting every replica of `file` on `tier` (cache eviction —
+    /// no data moves).
+    pub fn plan_drop_replicas(&mut self, file: FileId, tier: StorageTier) -> Result<TransferId> {
+        let meta = self.movable_file(file)?;
+        let block_ids = meta.blocks.clone();
+        let mut actions = Vec::new();
+        for b in block_ids {
+            let info = self.blocks.block(b);
+            if let Some(rep) = info.replica_on_tier(tier) {
+                actions.push(BlockTransfer {
+                    block: b,
+                    size: info.size,
+                    action: BlockAction::Drop {
+                        from: (rep.node, tier),
+                    },
+                });
+            }
+        }
+        if actions.is_empty() {
+            return Err(OctoError::NotFound(format!(
+                "{file} has no movable replica on {tier}"
+            )));
+        }
+        Ok(self.finish_plan(file, TransferKind::Downgrade, actions))
+    }
+
+    /// Applies a finished transfer: relocates/creates/drops replicas and
+    /// settles the space accounting.
+    pub fn complete_transfer(&mut self, id: TransferId) -> Result<Transfer> {
+        let t = self
+            .transfers
+            .complete(id)
+            .ok_or_else(|| OctoError::NotFound(format!("{id}")))?;
+        for bt in &t.blocks {
+            match bt.action {
+                BlockAction::Move { from, to } => {
+                    self.blocks.relocate_replica(bt.block, from, to)?;
+                    self.nodes.commit_reserved(to.0, to.1, bt.size);
+                    self.nodes.free_used(from.0, from.1, bt.size);
+                }
+                BlockAction::Copy { to, .. } => {
+                    self.blocks.add_replica(bt.block, to.0, to.1)?;
+                    self.nodes.commit_reserved(to.0, to.1, bt.size);
+                }
+                BlockAction::Drop { from } => {
+                    self.blocks.remove_replica(bt.block, from.0, from.1)?;
+                    self.nodes.free_used(from.0, from.1, bt.size);
+                }
+            }
+        }
+        let meta = self
+            .files
+            .get_mut(t.file)
+            .expect("files with transfers in flight cannot be deleted");
+        meta.in_flight -= 1;
+        Ok(t)
+    }
+
+    /// Abandons an in-flight transfer: releases reservations and unflags
+    /// source replicas.
+    pub fn cancel_transfer(&mut self, id: TransferId) -> Result<()> {
+        let t = self
+            .transfers
+            .cancel(id)
+            .ok_or_else(|| OctoError::NotFound(format!("{id}")))?;
+        for bt in &t.blocks {
+            if let Some((node, tier)) = bt.action.destination() {
+                self.nodes.release_reserved(node, tier, bt.size);
+            }
+            match bt.action {
+                BlockAction::Move { from, .. } | BlockAction::Drop { from } => {
+                    self.blocks
+                        .set_moving(bt.block, from.0, from.1, false)
+                        .expect("source replica exists");
+                }
+                BlockAction::Copy { .. } => {}
+            }
+        }
+        self.files
+            .get_mut(t.file)
+            .expect("in-flight file exists")
+            .in_flight -= 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The file at `path`, if it is a file.
+    pub fn file_id(&self, path: &str) -> Result<FileId> {
+        match self.ns.lookup(path)? {
+            Entry::File(id) => Ok(id),
+            Entry::Dir => Err(OctoError::InvalidArgument(format!("{path:?} is a directory"))),
+        }
+    }
+
+    /// Metadata of a live file.
+    pub fn file_meta(&self, file: FileId) -> Option<&FileMeta> {
+        self.files.get(file)
+    }
+
+    /// Access statistics of a live, committed file.
+    pub fn file_stats(&self, file: FileId) -> Option<&AccessStats> {
+        self.stats.get(file)
+    }
+
+    /// Block metadata.
+    pub fn block_info(&self, block: BlockId) -> &BlockInfo {
+        self.blocks.block(block)
+    }
+
+    /// Files with at least one block replica on `tier`, ascending by id.
+    pub fn files_on_tier(&self, tier: StorageTier) -> Vec<FileId> {
+        self.blocks.files_on_tier(tier).collect()
+    }
+
+    /// True if `file` has at least one block replica on `tier`.
+    pub fn file_on_tier(&self, file: FileId, tier: StorageTier) -> bool {
+        self.blocks.file_on_tier(file, tier)
+    }
+
+    /// True if *every* block of `file` has a replica on `tier` (the
+    /// all-or-nothing property the metrics care about).
+    pub fn file_fully_on_tier(&self, file: FileId, tier: StorageTier) -> bool {
+        let Some(meta) = self.files.get(file) else {
+            return false;
+        };
+        !meta.blocks.is_empty()
+            && meta
+                .blocks
+                .iter()
+                .all(|b| self.blocks.block(*b).replica_on_tier(tier).is_some())
+    }
+
+    /// Cluster-wide committed/capacity utilization of a tier.
+    pub fn tier_utilization(&self, tier: StorageTier) -> f64 {
+        self.nodes.tier_utilization(tier)
+    }
+
+    /// Cluster-wide `(committed, capacity)` bytes of a tier.
+    pub fn tier_usage(&self, tier: StorageTier) -> (ByteSize, ByteSize) {
+        self.nodes.tier_usage(tier)
+    }
+
+    /// The node manager (device-level introspection).
+    pub fn nodes(&self) -> &NodeManager {
+        &self.nodes
+    }
+
+    /// Registers an I/O stream starting against a device (load balancing
+    /// input).
+    pub fn io_started(&mut self, node: NodeId, tier: StorageTier) {
+        self.nodes.io_started(node, tier);
+    }
+
+    /// Registers an I/O stream finishing.
+    pub fn io_finished(&mut self, node: NodeId, tier: StorageTier) {
+        self.nodes.io_finished(node, tier);
+    }
+
+    /// Cumulative replica-movement statistics.
+    pub fn movement_stats(&self) -> &MovementStats {
+        self.transfers.stats()
+    }
+
+    /// An in-flight transfer.
+    pub fn transfer(&self, id: TransferId) -> Option<&Transfer> {
+        self.transfers.get(id)
+    }
+
+    /// Number of transfers in flight.
+    pub fn transfers_in_flight(&self) -> usize {
+        self.transfers.in_flight()
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.ns.file_count()
+    }
+
+    /// Live files in id order.
+    pub fn iter_files(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.iter()
+    }
+
+    /// Replication monitor report: blocks whose replica count deviates from
+    /// the configured factor (only meaningful for committed files).
+    pub fn replication_report(&self) -> Vec<(BlockId, usize, usize)> {
+        let target = self.config.replication as usize;
+        let mut deviations = Vec::new();
+        for meta in self.files.iter() {
+            if meta.state != FileState::Complete {
+                continue;
+            }
+            for &b in &meta.blocks {
+                let n = self.blocks.block(b).replicas().len();
+                if n != target {
+                    deviations.push((b, n, target));
+                }
+            }
+        }
+        deviations
+    }
+
+    /// Approximate bytes of per-file statistics bookkeeping (§7.7).
+    pub fn stats_memory_bytes(&self) -> usize {
+        self.stats.approx_memory_bytes()
+    }
+}

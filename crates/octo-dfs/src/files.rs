@@ -1,0 +1,124 @@
+//! The file table: per-file metadata keyed by [`FileId`].
+
+use octo_common::{BlockId, ByteSize, FileId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileState {
+    /// Being written; not yet readable.
+    Writing,
+    /// Fully written and readable.
+    Complete,
+}
+
+/// Metadata of one file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// This file's id.
+    pub id: FileId,
+    /// Absolute namespace path.
+    pub path: String,
+    /// Logical size in bytes.
+    pub size: ByteSize,
+    /// The file's blocks, in order.
+    pub blocks: Vec<BlockId>,
+    /// Lifecycle state.
+    pub state: FileState,
+    /// Creation timestamp.
+    pub created: SimTime,
+    /// Number of tier transfers currently in flight for this file. Files
+    /// with in-flight transfers cannot be selected for another move or be
+    /// deleted.
+    pub in_flight: u32,
+}
+
+/// Dense table of live files.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FileTable {
+    files: Vec<Option<FileMeta>>,
+}
+
+impl FileTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new file and returns its id.
+    pub fn insert(&mut self, path: &str, size: ByteSize, created: SimTime) -> FileId {
+        let id = FileId(self.files.len() as u64);
+        self.files.push(Some(FileMeta {
+            id,
+            path: path.to_string(),
+            size,
+            blocks: Vec::new(),
+            state: FileState::Writing,
+            created,
+            in_flight: 0,
+        }));
+        id
+    }
+
+    /// Shared access to a live file.
+    pub fn get(&self, id: FileId) -> Option<&FileMeta> {
+        self.files.get(id.index()).and_then(|f| f.as_ref())
+    }
+
+    /// Mutable access to a live file.
+    pub fn get_mut(&mut self, id: FileId) -> Option<&mut FileMeta> {
+        self.files.get_mut(id.index()).and_then(|f| f.as_mut())
+    }
+
+    /// Removes a file, returning its metadata.
+    pub fn remove(&mut self, id: FileId) -> Option<FileMeta> {
+        self.files.get_mut(id.index()).and_then(|f| f.take())
+    }
+
+    /// Iterates live files in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.iter().filter_map(|f| f.as_ref())
+    }
+
+    /// Number of live files.
+    pub fn len(&self) -> usize {
+        self.files.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// True when no files are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = FileTable::new();
+        let id = t.insert("/a/b", ByteSize::mb(10), SimTime::from_secs(1));
+        assert_eq!(t.get(id).unwrap().path, "/a/b");
+        assert_eq!(t.get(id).unwrap().state, FileState::Writing);
+        t.get_mut(id).unwrap().state = FileState::Complete;
+        assert_eq!(t.get(id).unwrap().state, FileState::Complete);
+        let meta = t.remove(id).unwrap();
+        assert_eq!(meta.id, id);
+        assert!(t.get(id).is_none());
+        assert!(t.remove(id).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut t = FileTable::new();
+        let a = t.insert("/a", ByteSize::mb(1), SimTime::ZERO);
+        let b = t.insert("/b", ByteSize::mb(2), SimTime::ZERO);
+        let c = t.insert("/c", ByteSize::mb(3), SimTime::ZERO);
+        t.remove(b);
+        let ids: Vec<_> = t.iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! A tiered distributed file system core, modelled on OctopusFS.
+//!
+//! This crate implements the storage substrate of the paper: an HDFS-style
+//! multi-master/worker DFS whose blocks are replicated both *across nodes*
+//! and *across storage tiers* (memory / SSD / HDD), plus the Replication
+//! Manager machinery that the automated tiering policies drive.
+//!
+//! Components (paper Figure 3):
+//!
+//! * [`namespace::Namespace`] — the FS Directory (hierarchical paths).
+//! * [`block::BlockManager`] — block → replica locations, with a per-tier
+//!   inverted file index.
+//! * [`node::NodeManager`] — per-node per-tier devices with reserve/commit
+//!   space accounting.
+//! * [`stats::StatsRegistry`] — per-file access statistics (last *k*
+//!   accesses) feeding both classic policies and the ML feature pipeline.
+//! * [`placement::PlacementPolicy`] — the multi-objective placement of
+//!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
+//! * [`replication`] — transfer plans and movement statistics.
+//! * [`dfs::TieredDfs`] — the facade tying it all together.
+//!
+//! The crate is simulation-agnostic: it accounts space and metadata but
+//! performs no I/O; the `octo-cluster` crate turns transfer plans into
+//! bandwidth-model flows and calls back on completion.
+
+pub mod block;
+pub mod config;
+pub mod dfs;
+pub mod files;
+pub mod namespace;
+pub mod node;
+pub mod placement;
+pub mod replication;
+pub mod stats;
+
+pub use block::{BlockInfo, BlockManager, Replica};
+pub use config::DfsConfig;
+pub use dfs::{BlockWrite, DowngradeTarget, TieredDfs, WritePlan};
+pub use files::{FileMeta, FileState, FileTable};
+pub use namespace::{Entry, Namespace};
+pub use node::{Device, NodeManager};
+pub use placement::{PlacementPolicy, PlacementWeights};
+pub use replication::{
+    BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind,
+};
+pub use stats::{AccessStats, StatsRegistry};

@@ -1,0 +1,417 @@
+//! The hierarchical namespace (the FS Directory of Figure 3).
+//!
+//! A classic inode arena: directories hold name → inode maps (`BTreeMap`
+//! for deterministic listing order), files point at their [`FileId`] in the
+//! file table. Paths are absolute, `/`-separated, with HDFS-style semantics:
+//! creating a file auto-creates missing parent directories.
+
+use octo_common::{FileId, OctoError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+const ROOT: usize = 0;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Inode {
+    Dir {
+        parent: usize,
+        children: BTreeMap<String, usize>,
+    },
+    File {
+        parent: usize,
+        file: FileId,
+    },
+}
+
+/// What a path resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entry {
+    /// A directory.
+    Dir,
+    /// A file and its id.
+    File(FileId),
+}
+
+/// The namespace tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Namespace {
+    inodes: Vec<Option<Inode>>,
+    free: Vec<usize>,
+    n_files: usize,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits and validates an absolute path into components.
+fn components(path: &str) -> Result<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(OctoError::InvalidArgument(format!(
+            "path must be absolute: {path:?}"
+        )));
+    }
+    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    if comps.iter().any(|c| *c == "." || *c == "..") {
+        return Err(OctoError::InvalidArgument(format!(
+            "path may not contain '.' or '..': {path:?}"
+        )));
+    }
+    Ok(comps)
+}
+
+impl Namespace {
+    /// A namespace containing only the root directory.
+    pub fn new() -> Self {
+        Namespace {
+            inodes: vec![Some(Inode::Dir {
+                parent: ROOT,
+                children: BTreeMap::new(),
+            })],
+            free: Vec::new(),
+            n_files: 0,
+        }
+    }
+
+    fn alloc(&mut self, inode: Inode) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.inodes[idx] = Some(inode);
+            idx
+        } else {
+            self.inodes.push(Some(inode));
+            self.inodes.len() - 1
+        }
+    }
+
+    fn get(&self, idx: usize) -> &Inode {
+        self.inodes[idx].as_ref().expect("live inode")
+    }
+
+    /// Resolves a path to its inode index.
+    fn resolve(&self, path: &str) -> Result<usize> {
+        let mut cur = ROOT;
+        for comp in components(path)? {
+            let Inode::Dir { children, .. } = self.get(cur) else {
+                return Err(OctoError::InvalidArgument(format!(
+                    "{path:?} traverses a file"
+                )));
+            };
+            cur = *children
+                .get(comp)
+                .ok_or_else(|| OctoError::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// What `path` refers to, if anything.
+    pub fn lookup(&self, path: &str) -> Result<Entry> {
+        let idx = self.resolve(path)?;
+        Ok(match self.get(idx) {
+            Inode::Dir { .. } => Entry::Dir,
+            Inode::File { file, .. } => Entry::File(*file),
+        })
+    }
+
+    /// True if `path` resolves to anything.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// Creates every missing directory along `path`.
+    pub fn mkdirs(&mut self, path: &str) -> Result<()> {
+        let comps: Vec<String> = components(path)?.iter().map(|s| s.to_string()).collect();
+        let mut cur = ROOT;
+        for comp in comps {
+            let next = {
+                let Inode::Dir { children, .. } = self.get(cur) else {
+                    return Err(OctoError::InvalidArgument(format!(
+                        "{path:?} traverses a file"
+                    )));
+                };
+                children.get(&comp).copied()
+            };
+            cur = match next {
+                Some(idx) => match self.get(idx) {
+                    Inode::Dir { .. } => idx,
+                    Inode::File { .. } => {
+                        return Err(OctoError::AlreadyExists(format!(
+                            "{comp:?} in {path:?} is a file"
+                        )))
+                    }
+                },
+                None => {
+                    let idx = self.alloc(Inode::Dir {
+                        parent: cur,
+                        children: BTreeMap::new(),
+                    });
+                    let Some(Inode::Dir { children, .. }) = self.inodes[cur].as_mut() else {
+                        unreachable!("parent is a live directory");
+                    };
+                    children.insert(comp, idx);
+                    idx
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Registers a file at `path`, auto-creating parent directories.
+    pub fn create_file(&mut self, path: &str, file: FileId) -> Result<()> {
+        let comps = components(path)?;
+        let Some((name, parents)) = comps.split_last() else {
+            return Err(OctoError::InvalidArgument("cannot create '/'".into()));
+        };
+        let parent_path = format!("/{}", parents.join("/"));
+        self.mkdirs(&parent_path)?;
+        let parent = self.resolve(&parent_path)?;
+        let Some(Inode::Dir { children, .. }) = self.inodes[parent].as_ref() else {
+            unreachable!("mkdirs produced a directory");
+        };
+        if children.contains_key(*name) {
+            return Err(OctoError::AlreadyExists(path.to_string()));
+        }
+        let idx = self.alloc(Inode::File { parent, file });
+        let Some(Inode::Dir { children, .. }) = self.inodes[parent].as_mut() else {
+            unreachable!("parent is a live directory");
+        };
+        children.insert(name.to_string(), idx);
+        self.n_files += 1;
+        Ok(())
+    }
+
+    /// Deletes `path`. Directories require `recursive`. Returns the ids of
+    /// every file removed so callers can release their blocks.
+    pub fn delete(&mut self, path: &str, recursive: bool) -> Result<Vec<FileId>> {
+        let idx = self.resolve(path)?;
+        if idx == ROOT {
+            return Err(OctoError::InvalidArgument("cannot delete '/'".into()));
+        }
+        if let Inode::Dir { children, .. } = self.get(idx) {
+            if !children.is_empty() && !recursive {
+                return Err(OctoError::InvalidState(format!(
+                    "{path:?} is a non-empty directory"
+                )));
+            }
+        }
+        // Unlink from parent.
+        let parent = match self.get(idx) {
+            Inode::Dir { parent, .. } | Inode::File { parent, .. } => *parent,
+        };
+        if let Some(Inode::Dir { children, .. }) = self.inodes[parent].as_mut() {
+            children.retain(|_, v| *v != idx);
+        }
+        // Collect the subtree.
+        let mut removed = Vec::new();
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            match self.inodes[i].take().expect("live inode") {
+                Inode::File { file, .. } => {
+                    removed.push(file);
+                    self.n_files -= 1;
+                }
+                Inode::Dir { children, .. } => stack.extend(children.into_values()),
+            }
+            self.free.push(i);
+        }
+        removed.sort_unstable();
+        Ok(removed)
+    }
+
+    /// Moves `from` (file or directory) to `to`. `to` must not exist; its
+    /// parent directories are created as needed.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let idx = self.resolve(from)?;
+        if idx == ROOT {
+            return Err(OctoError::InvalidArgument("cannot rename '/'".into()));
+        }
+        if self.exists(to) {
+            return Err(OctoError::AlreadyExists(to.to_string()));
+        }
+        let to_comps = components(to)?;
+        let Some((new_name, parents)) = to_comps.split_last() else {
+            return Err(OctoError::InvalidArgument("cannot rename to '/'".into()));
+        };
+        let new_name = new_name.to_string();
+        let parent_path = format!("/{}", parents.join("/"));
+        self.mkdirs(&parent_path)?;
+        let new_parent = self.resolve(&parent_path)?;
+        // Refuse to move a directory into its own subtree.
+        let mut cur = new_parent;
+        loop {
+            if cur == idx {
+                return Err(OctoError::InvalidArgument(format!(
+                    "cannot move {from:?} into itself"
+                )));
+            }
+            if cur == ROOT {
+                break;
+            }
+            cur = match self.get(cur) {
+                Inode::Dir { parent, .. } | Inode::File { parent, .. } => *parent,
+            };
+        }
+        // Unlink from the old parent.
+        let old_parent = match self.get(idx) {
+            Inode::Dir { parent, .. } | Inode::File { parent, .. } => *parent,
+        };
+        if let Some(Inode::Dir { children, .. }) = self.inodes[old_parent].as_mut() {
+            children.retain(|_, v| *v != idx);
+        }
+        // Link under the new parent and fix the back-pointer.
+        if let Some(Inode::Dir { children, .. }) = self.inodes[new_parent].as_mut() {
+            children.insert(new_name, idx);
+        }
+        match self.inodes[idx].as_mut().expect("live inode") {
+            Inode::Dir { parent, .. } | Inode::File { parent, .. } => *parent = new_parent,
+        }
+        Ok(())
+    }
+
+    /// Child names of a directory, in lexicographic order.
+    pub fn list(&self, path: &str) -> Result<Vec<String>> {
+        let idx = self.resolve(path)?;
+        match self.get(idx) {
+            Inode::Dir { children, .. } => Ok(children.keys().cloned().collect()),
+            Inode::File { .. } => Err(OctoError::InvalidArgument(format!(
+                "{path:?} is a file"
+            ))),
+        }
+    }
+
+    /// Number of live files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.n_files
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let mut ns = Namespace::new();
+        ns.create_file("/data/input/part-0001", FileId(7)).unwrap();
+        assert_eq!(
+            ns.lookup("/data/input/part-0001").unwrap(),
+            Entry::File(FileId(7))
+        );
+        assert_eq!(ns.lookup("/data").unwrap(), Entry::Dir);
+        assert_eq!(ns.lookup("/data/input").unwrap(), Entry::Dir);
+        assert_eq!(ns.file_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_creation_rejected() {
+        let mut ns = Namespace::new();
+        ns.create_file("/a/f", FileId(1)).unwrap();
+        assert_eq!(
+            ns.create_file("/a/f", FileId(2)).unwrap_err().kind(),
+            "already_exists"
+        );
+        // A directory where a file exists is also rejected.
+        assert!(ns.mkdirs("/a/f/sub").is_err());
+    }
+
+    #[test]
+    fn path_validation() {
+        let mut ns = Namespace::new();
+        assert!(ns.create_file("relative/path", FileId(0)).is_err());
+        assert!(ns.create_file("/bad/../escape", FileId(0)).is_err());
+        assert!(ns.lookup("/missing").is_err());
+        assert!(ns.create_file("/", FileId(0)).is_err());
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let mut ns = Namespace::new();
+        ns.create_file("/d/zeta", FileId(0)).unwrap();
+        ns.create_file("/d/alpha", FileId(1)).unwrap();
+        ns.mkdirs("/d/middle").unwrap();
+        assert_eq!(ns.list("/d").unwrap(), vec!["alpha", "middle", "zeta"]);
+        assert!(ns.list("/d/zeta").is_err());
+    }
+
+    #[test]
+    fn delete_file_and_recursive_dir() {
+        let mut ns = Namespace::new();
+        ns.create_file("/d/a", FileId(1)).unwrap();
+        ns.create_file("/d/sub/b", FileId(2)).unwrap();
+        ns.create_file("/d/sub/c", FileId(3)).unwrap();
+
+        assert_eq!(ns.delete("/d/a", false).unwrap(), vec![FileId(1)]);
+        assert!(!ns.exists("/d/a"));
+
+        // Non-empty dir needs recursive.
+        assert_eq!(
+            ns.delete("/d/sub", false).unwrap_err().kind(),
+            "invalid_state"
+        );
+        let removed = ns.delete("/d/sub", true).unwrap();
+        assert_eq!(removed, vec![FileId(2), FileId(3)]);
+        assert_eq!(ns.file_count(), 0);
+        assert!(ns.delete("/", true).is_err());
+    }
+
+    #[test]
+    fn inode_slots_are_recycled() {
+        let mut ns = Namespace::new();
+        for round in 0..5 {
+            ns.create_file("/tmp/f", FileId(round)).unwrap();
+            ns.delete("/tmp/f", false).unwrap();
+        }
+        // Arena did not grow unboundedly: root + /tmp + 1 file slot.
+        assert!(ns.inodes.len() <= 4, "arena leaked: {}", ns.inodes.len());
+    }
+
+    #[test]
+    fn rename_file_and_directory() {
+        let mut ns = Namespace::new();
+        ns.create_file("/staging/f1", FileId(1)).unwrap();
+        ns.rename("/staging/f1", "/final/renamed").unwrap();
+        assert!(!ns.exists("/staging/f1"));
+        assert_eq!(
+            ns.lookup("/final/renamed").unwrap(),
+            Entry::File(FileId(1))
+        );
+
+        ns.create_file("/staging/f2", FileId(2)).unwrap();
+        ns.rename("/staging", "/archive").unwrap();
+        assert_eq!(
+            ns.lookup("/archive/f2").unwrap(),
+            Entry::File(FileId(2))
+        );
+
+        // Cannot rename into own subtree or over an existing path.
+        ns.mkdirs("/x/y").unwrap();
+        assert!(ns.rename("/x", "/x/y/z").is_err());
+        assert!(ns.rename("/archive/f2", "/final/renamed").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Creating N files under random directories then deleting the root
+        /// recursively recovers every file id exactly once.
+        #[test]
+        fn prop_create_delete_recovers_all_ids(
+            dirs in proptest::collection::vec("[a-c]{1,2}", 1..20)
+        ) {
+            let mut ns = Namespace::new();
+            let mut expected = Vec::new();
+            for (i, d) in dirs.iter().enumerate() {
+                let path = format!("/root/{d}/f{i}");
+                ns.create_file(&path, FileId(i as u64)).unwrap();
+                expected.push(FileId(i as u64));
+            }
+            prop_assert_eq!(ns.file_count(), expected.len());
+            let mut removed = ns.delete("/root", true).unwrap();
+            removed.sort_unstable();
+            prop_assert_eq!(removed, expected);
+            prop_assert_eq!(ns.file_count(), 0);
+        }
+    }
+}

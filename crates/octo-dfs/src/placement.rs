@@ -1,0 +1,409 @@
+//! The multi-objective data placement policy (§5.3 / OctopusFS §4).
+//!
+//! Placement scores every feasible `(node, tier)` candidate by a weighted
+//! combination of the four objectives of the OctopusFS formulation:
+//!
+//! 1. **Fault tolerance** — hard constraint: replicas of a block live on
+//!    distinct nodes.
+//! 2. **Throughput maximization** — faster tiers score higher (ordinal by
+//!    tier rank).
+//! 3. **Data balancing** — emptier devices score higher.
+//! 4. **Load balancing** — devices with fewer active I/O streams score
+//!    higher.
+//!
+//! A *tier-diversity* penalty discourages stacking replicas of one block on
+//! the same tier, which reproduces OctopusFS's observed behaviour: while
+//! memory has room a block gets one replica on each of memory/SSD/HDD, and
+//! after memory fills the replicas spread over SSD and HDD (§3.1). A
+//! *locality* bonus steers replica moves toward the node that already holds
+//! the source copy, so tier moves stay on-node (no network) when possible.
+
+use crate::block::BlockInfo;
+use crate::node::NodeManager;
+use octo_common::{ByteSize, NodeId, StorageTier};
+use serde::{Deserialize, Serialize};
+
+/// Objective weights for [`PlacementPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementWeights {
+    /// Weight of the tier-speed objective.
+    pub throughput: f64,
+    /// Weight of the free-space objective.
+    pub data_balance: f64,
+    /// Weight of the idle-device objective.
+    pub load_balance: f64,
+    /// Penalty per replica of the same block already on a tier.
+    pub tier_diversity_penalty: f64,
+    /// Bonus for placing on the preferred (source) node.
+    pub locality_bonus: f64,
+}
+
+impl Default for PlacementWeights {
+    fn default() -> Self {
+        PlacementWeights {
+            throughput: 1.0,
+            data_balance: 0.35,
+            load_balance: 0.15,
+            tier_diversity_penalty: 1.2,
+            locality_bonus: 0.3,
+        }
+    }
+}
+
+/// The pluggable placement policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacementPolicy {
+    weights: PlacementWeights,
+    /// Devices are never filled beyond this fraction by placement.
+    fill_limit: f64,
+    /// When set, initial placement is restricted to these tiers (used by the
+    /// paper's upgrade-only experiment, which forces all data onto HDD).
+    allowed_initial_tiers: Vec<StorageTier>,
+}
+
+impl PlacementPolicy {
+    /// A policy with the given weights and fill limit.
+    pub fn new(weights: PlacementWeights, fill_limit: f64) -> Self {
+        PlacementPolicy {
+            weights,
+            fill_limit,
+            allowed_initial_tiers: StorageTier::ALL.to_vec(),
+        }
+    }
+
+    /// Restricts *initial* placement to `tiers` (replica moves may still
+    /// target any tier). §7.4 forces initial placement to HDD this way.
+    pub fn restrict_initial_tiers(&mut self, tiers: &[StorageTier]) {
+        assert!(!tiers.is_empty(), "initial tier set cannot be empty");
+        self.allowed_initial_tiers = tiers.to_vec();
+    }
+
+    /// The configured weights.
+    pub fn weights(&self) -> &PlacementWeights {
+        &self.weights
+    }
+
+    fn fits(&self, nodes: &NodeManager, node: NodeId, tier: StorageTier, size: ByteSize) -> bool {
+        let d = nodes.device(node, tier);
+        let limit = ByteSize::from_bytes(
+            (d.capacity().as_bytes() as f64 * self.fill_limit) as u64,
+        );
+        d.committed() + size <= limit
+    }
+
+    fn score(
+        &self,
+        nodes: &NodeManager,
+        node: NodeId,
+        tier: StorageTier,
+        tier_uses: &[u32; 3],
+        prefer_node: Option<NodeId>,
+    ) -> f64 {
+        let d = nodes.device(node, tier);
+        let w = &self.weights;
+        let tier_speed = tier.rank() as f64 / 2.0;
+        let mut s = w.throughput * tier_speed
+            + w.data_balance * (1.0 - d.utilization())
+            + w.load_balance / (1.0 + d.active_io() as f64);
+        s -= w.tier_diversity_penalty * tier_uses[tier.index()] as f64;
+        if prefer_node == Some(node) {
+            s += w.locality_bonus;
+        }
+        s
+    }
+
+    /// Picks the best feasible `(node, tier)` among `candidate_tiers`,
+    /// excluding `exclude_nodes` (nodes already hosting this block) and
+    /// applying the diversity penalty for `tier_uses`. Deterministic:
+    /// ties break toward lower node id, then higher tier.
+    #[allow(clippy::too_many_arguments)]
+    fn best_candidate(
+        &self,
+        nodes: &NodeManager,
+        size: ByteSize,
+        candidate_tiers: &[StorageTier],
+        exclude_nodes: &[NodeId],
+        tier_uses: &[u32; 3],
+        prefer_node: Option<NodeId>,
+        allow_preferred_excluded: bool,
+    ) -> Option<(NodeId, StorageTier)> {
+        let mut best: Option<((NodeId, StorageTier), f64)> = None;
+        for node in nodes.node_ids() {
+            let excluded = exclude_nodes.contains(&node);
+            if excluded && !(allow_preferred_excluded && prefer_node == Some(node)) {
+                continue;
+            }
+            for &tier in candidate_tiers {
+                if !self.fits(nodes, node, tier, size) {
+                    continue;
+                }
+                let s = self.score(nodes, node, tier, tier_uses, prefer_node);
+                let better = match &best {
+                    Some((_, bs)) => s > *bs + 1e-12,
+                    None => true,
+                };
+                if better {
+                    best = Some(((node, tier), s));
+                }
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Chooses placements for `n_replicas` copies of a new block.
+    ///
+    /// Returns the chosen `(node, tier)` pairs, possibly fewer than
+    /// requested when the cluster is nearly full (HDFS semantics: a write
+    /// proceeds with fewer replicas rather than failing). An empty result
+    /// means nothing fits anywhere.
+    pub fn place_new_block(
+        &self,
+        nodes: &NodeManager,
+        size: ByteSize,
+        n_replicas: u32,
+    ) -> Vec<(NodeId, StorageTier)> {
+        let mut chosen: Vec<(NodeId, StorageTier)> = Vec::with_capacity(n_replicas as usize);
+        let mut tier_uses = [0u32; 3];
+        let mut exclude = Vec::new();
+        for _ in 0..n_replicas {
+            let Some((node, tier)) = self.best_candidate(
+                nodes,
+                size,
+                &self.allowed_initial_tiers,
+                &exclude,
+                &tier_uses,
+                None,
+                false,
+            ) else {
+                break;
+            };
+            tier_uses[tier.index()] += 1;
+            exclude.push(node);
+            chosen.push((node, tier));
+        }
+        chosen
+    }
+
+    /// Chooses the destination for moving one replica of `block` onto one of
+    /// `allowed_tiers`.
+    ///
+    /// `from_node` is the node currently holding the moving replica; it is
+    /// preferred (locality) and remains eligible even though it hosts the
+    /// block, because the source copy vacates. Other nodes hosting replicas
+    /// are excluded.
+    pub fn place_move(
+        &self,
+        nodes: &NodeManager,
+        block: &BlockInfo,
+        allowed_tiers: &[StorageTier],
+        from_node: NodeId,
+    ) -> Option<(NodeId, StorageTier)> {
+        let exclude: Vec<NodeId> = block.nodes().collect();
+        let mut tier_uses = [0u32; 3];
+        for r in block.replicas() {
+            tier_uses[r.tier.index()] += 1;
+        }
+        self.best_candidate(
+            nodes,
+            block.size,
+            allowed_tiers,
+            &exclude,
+            &tier_uses,
+            Some(from_node),
+            true,
+        )
+    }
+
+    /// Chooses the node for an *additional* copy of `block` on `tier`
+    /// (HDFS-cache style caching). Prefers a node already holding a replica
+    /// on a lower tier — caching co-locates the memory copy with the disk
+    /// copy — but that node must not already hold a copy on `tier` itself.
+    pub fn place_copy(
+        &self,
+        nodes: &NodeManager,
+        block: &BlockInfo,
+        tier: StorageTier,
+    ) -> Option<(NodeId, StorageTier)> {
+        let holders: Vec<NodeId> = block.nodes().collect();
+        // First choice: co-locate with an existing lower-tier replica.
+        let mut best: Option<((NodeId, StorageTier), f64)> = None;
+        let tier_uses = [0u32; 3];
+        for r in block.replicas() {
+            if r.tier == tier {
+                continue;
+            }
+            if block.replica_at(r.node, tier).is_some() {
+                continue;
+            }
+            if !self.fits(nodes, r.node, tier, block.size) {
+                continue;
+            }
+            let s = self.score(nodes, r.node, tier, &tier_uses, None);
+            if best.as_ref().is_none_or(|(_, bs)| s > *bs + 1e-12) {
+                best = Some(((r.node, tier), s));
+            }
+        }
+        if best.is_some() {
+            return best.map(|(c, _)| c);
+        }
+        // Fallback: any node without a copy.
+        self.best_candidate(nodes, block.size, &[tier], &holders, &tier_uses, None, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockManager;
+    use crate::config::DfsConfig;
+    use octo_common::FileId;
+
+    fn small_cluster() -> (DfsConfig, NodeManager) {
+        let config = DfsConfig {
+            workers: 4,
+            ..DfsConfig::default()
+        };
+        let nodes = NodeManager::new(&config);
+        (config, nodes)
+    }
+
+    fn policy() -> PlacementPolicy {
+        PlacementPolicy::new(PlacementWeights::default(), 0.95)
+    }
+
+    #[test]
+    fn empty_cluster_places_one_replica_per_tier() {
+        let (_, nodes) = small_cluster();
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 3);
+        assert_eq!(placed.len(), 3);
+        let tiers: Vec<StorageTier> = placed.iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            tiers,
+            vec![StorageTier::Memory, StorageTier::Ssd, StorageTier::Hdd],
+            "OctopusFS spreads the three replicas over the three tiers"
+        );
+        // Fault tolerance: three distinct nodes.
+        let mut ns: Vec<NodeId> = placed.iter().map(|(n, _)| *n).collect();
+        ns.dedup();
+        assert_eq!(ns.len(), 3);
+    }
+
+    #[test]
+    fn full_memory_shifts_placement_to_disk_tiers() {
+        let (_, mut nodes) = small_cluster();
+        // Fill every node's memory beyond the fill limit.
+        for n in 0..4 {
+            nodes
+                .reserve(NodeId(n), StorageTier::Memory, ByteSize::from_mb_f64(3900.0))
+                .unwrap();
+        }
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 3);
+        assert_eq!(placed.len(), 3);
+        assert!(
+            placed.iter().all(|(_, t)| *t != StorageTier::Memory),
+            "memory above the fill limit must not receive replicas: {placed:?}"
+        );
+        // Replicas split across SSD and HDD (1+2 or 2+1).
+        let ssd = placed.iter().filter(|(_, t)| *t == StorageTier::Ssd).count();
+        assert!(ssd == 1 || ssd == 2);
+    }
+
+    #[test]
+    fn data_balance_spreads_nodes() {
+        let (_, mut nodes) = small_cluster();
+        // Node 0's memory is much fuller than the others'.
+        nodes
+            .reserve(NodeId(0), StorageTier::Memory, ByteSize::gb(3))
+            .unwrap();
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 1);
+        assert_eq!(placed.len(), 1);
+        assert_ne!(placed[0].0, NodeId(0), "placement should avoid the full node");
+        assert_eq!(placed[0].1, StorageTier::Memory);
+    }
+
+    #[test]
+    fn restricted_initial_tiers() {
+        let (_, nodes) = small_cluster();
+        let mut p = policy();
+        p.restrict_initial_tiers(&[StorageTier::Hdd]);
+        let placed = p.place_new_block(&nodes, ByteSize::mb(128), 3);
+        assert_eq!(placed.len(), 3);
+        assert!(placed.iter().all(|(_, t)| *t == StorageTier::Hdd));
+    }
+
+    #[test]
+    fn degraded_replication_when_cluster_tiny() {
+        let config = DfsConfig {
+            workers: 2,
+            ..DfsConfig::default()
+        };
+        let nodes = NodeManager::new(&config);
+        // 3 replicas requested but only 2 nodes exist.
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 3);
+        assert_eq!(placed.len(), 2, "one replica per node maximum");
+    }
+
+    #[test]
+    fn move_prefers_source_node() {
+        let (_, nodes) = small_cluster();
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(2), StorageTier::Memory).unwrap();
+        bm.add_replica(b, NodeId(1), StorageTier::Hdd).unwrap();
+        let target = policy()
+            .place_move(&nodes, bm.block(b), &[StorageTier::Ssd], NodeId(2))
+            .expect("ssd has room");
+        assert_eq!(target, (NodeId(2), StorageTier::Ssd), "on-node move wins");
+    }
+
+    #[test]
+    fn move_avoids_nodes_with_other_replicas() {
+        let config = DfsConfig {
+            workers: 2,
+            ..DfsConfig::default()
+        };
+        let nodes = NodeManager::new(&config);
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), StorageTier::Memory).unwrap();
+        bm.add_replica(b, NodeId(1), StorageTier::Ssd).unwrap();
+        // Moving the memory replica down: node 1 already has a copy, so the
+        // only legal destination is node 0 itself.
+        let target = policy()
+            .place_move(&nodes, bm.block(b), &[StorageTier::Ssd, StorageTier::Hdd], NodeId(0))
+            .expect("node 0 has room");
+        assert_eq!(target.0, NodeId(0));
+    }
+
+    #[test]
+    fn copy_colocates_with_existing_replica() {
+        let (_, nodes) = small_cluster();
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(3), StorageTier::Hdd).unwrap();
+        let target = policy()
+            .place_copy(&nodes, bm.block(b), StorageTier::Memory)
+            .expect("memory has room");
+        assert_eq!(
+            target,
+            (NodeId(3), StorageTier::Memory),
+            "cache copy lands next to the disk copy"
+        );
+    }
+
+    #[test]
+    fn nothing_fits_returns_empty() {
+        let config = DfsConfig {
+            workers: 1,
+            replication: 1,
+            ..DfsConfig::default()
+        };
+        let mut nodes = NodeManager::new(&config);
+        for t in StorageTier::ALL {
+            let cap = nodes.device(NodeId(0), t).capacity();
+            nodes.reserve(NodeId(0), t, cap).unwrap();
+        }
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 1);
+        assert!(placed.is_empty());
+    }
+}

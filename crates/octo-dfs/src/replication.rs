@@ -1,0 +1,326 @@
+//! Transfer bookkeeping for the Replication Manager / Monitor (Figure 3).
+//!
+//! A [`Transfer`] is the unit the upgrade/downgrade policies schedule: all
+//! block-level actions needed to move (or drop, or copy) one file's replicas
+//! with respect to a tier. The DFS facade creates transfers two-phase —
+//! space is reserved and source replicas flagged at *plan* time, and the
+//! world is mutated at *completion* time — so the compute layer can overlap
+//! transfer I/O with everything else.
+
+use octo_common::{BlockId, ByteSize, FileId, NodeId, PerTier, StorageTier};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+impl std::fmt::Display for TransferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xfer-{}", self.0)
+    }
+}
+
+/// Why a transfer exists (drives which statistics it feeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Replica moving to a higher tier (or a cache copy being created).
+    Upgrade,
+    /// Replica moving to a lower tier (or being dropped).
+    Downgrade,
+}
+
+/// One block-level action within a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockAction {
+    /// Move the replica at `from` to `to`. Bytes cross devices (and the
+    /// network when nodes differ).
+    Move {
+        /// Source replica location.
+        from: (NodeId, StorageTier),
+        /// Destination (space is reserved there while in flight).
+        to: (NodeId, StorageTier),
+    },
+    /// Create an additional replica at `to`, reading from `from` (which
+    /// stays). HDFS-cache style caching.
+    Copy {
+        /// Replica to read from.
+        from: (NodeId, StorageTier),
+        /// Destination of the new copy.
+        to: (NodeId, StorageTier),
+    },
+    /// Delete the replica at `from`. No data moves.
+    Drop {
+        /// Replica to delete.
+        from: (NodeId, StorageTier),
+    },
+}
+
+impl BlockAction {
+    /// Bytes that must cross devices for this action (zero for drops).
+    pub fn moves_bytes(&self) -> bool {
+        !matches!(self, BlockAction::Drop { .. })
+    }
+
+    /// The destination, if the action lands data somewhere.
+    pub fn destination(&self) -> Option<(NodeId, StorageTier)> {
+        match self {
+            BlockAction::Move { to, .. } | BlockAction::Copy { to, .. } => Some(*to),
+            BlockAction::Drop { .. } => None,
+        }
+    }
+
+    /// The source location the action reads from or removes.
+    pub fn source(&self) -> (NodeId, StorageTier) {
+        match self {
+            BlockAction::Move { from, .. }
+            | BlockAction::Copy { from, .. }
+            | BlockAction::Drop { from } => *from,
+        }
+    }
+}
+
+/// One block's part of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockTransfer {
+    /// Block being acted on.
+    pub block: BlockId,
+    /// Size of that block.
+    pub size: ByteSize,
+    /// What happens to it.
+    pub action: BlockAction,
+}
+
+/// A scheduled file-granularity replica transfer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transfer {
+    /// This transfer's id.
+    pub id: TransferId,
+    /// File whose replicas move.
+    pub file: FileId,
+    /// Upgrade or downgrade.
+    pub kind: TransferKind,
+    /// Per-block actions.
+    pub blocks: Vec<BlockTransfer>,
+}
+
+impl Transfer {
+    /// Total bytes that must physically move (drops excluded).
+    pub fn bytes_moving(&self) -> ByteSize {
+        self.blocks
+            .iter()
+            .filter(|b| b.action.moves_bytes())
+            .map(|b| b.size)
+            .sum()
+    }
+}
+
+/// Cumulative movement statistics (feeds Table 4 and the efficiency
+/// analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MovementStats {
+    /// Bytes landed on each tier by upgrades.
+    pub upgraded_to: PerTier<ByteSize>,
+    /// Bytes landed on each tier by downgrades.
+    pub downgraded_to: PerTier<ByteSize>,
+    /// Bytes of replicas deleted from each tier.
+    pub dropped_from: PerTier<ByteSize>,
+    /// Completed transfer count.
+    pub transfers_completed: u64,
+    /// Cancelled transfer count.
+    pub transfers_cancelled: u64,
+}
+
+/// Table of in-flight transfers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransferTable {
+    next_id: u64,
+    active: HashMap<TransferId, Transfer>,
+    stats: MovementStats,
+}
+
+impl TransferTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transfer, assigning its id.
+    pub fn insert(&mut self, file: FileId, kind: TransferKind, blocks: Vec<BlockTransfer>) -> TransferId {
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(
+            id,
+            Transfer {
+                id,
+                file,
+                kind,
+                blocks,
+            },
+        );
+        id
+    }
+
+    /// The in-flight transfer with this id.
+    pub fn get(&self, id: TransferId) -> Option<&Transfer> {
+        self.active.get(&id)
+    }
+
+    /// Removes a transfer at completion, recording its statistics.
+    pub fn complete(&mut self, id: TransferId) -> Option<Transfer> {
+        let t = self.active.remove(&id)?;
+        self.stats.transfers_completed += 1;
+        for b in &t.blocks {
+            match b.action {
+                BlockAction::Move { to, .. } | BlockAction::Copy { to, .. } => {
+                    let bucket = match t.kind {
+                        TransferKind::Upgrade => self.stats.upgraded_to.get_mut(to.1),
+                        TransferKind::Downgrade => self.stats.downgraded_to.get_mut(to.1),
+                    };
+                    *bucket += b.size;
+                }
+                BlockAction::Drop { from } => {
+                    *self.stats.dropped_from.get_mut(from.1) += b.size;
+                }
+            }
+        }
+        Some(t)
+    }
+
+    /// Removes a transfer that was cancelled.
+    pub fn cancel(&mut self, id: TransferId) -> Option<Transfer> {
+        let t = self.active.remove(&id)?;
+        self.stats.transfers_cancelled += 1;
+        Some(t)
+    }
+
+    /// Number of in-flight transfers.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Cumulative movement statistics.
+    pub fn stats(&self) -> &MovementStats {
+        &self.stats
+    }
+}
+
+/// Replication monitor checks: blocks whose live replica count differs from
+/// the target. Returns `(block, observed, target)` triples.
+pub fn replication_report(
+    blocks: impl Iterator<Item = (BlockId, usize)>,
+    target: usize,
+) -> Vec<(BlockId, usize, usize)> {
+    blocks
+        .filter(|(_, n)| *n != target)
+        .map(|(b, n)| (b, n, target))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: StorageTier = StorageTier::Memory;
+    const SSD: StorageTier = StorageTier::Ssd;
+
+    fn mv(block: u64, size_mb: u64) -> BlockTransfer {
+        BlockTransfer {
+            block: BlockId(block),
+            size: ByteSize::mb(size_mb),
+            action: BlockAction::Move {
+                from: (NodeId(0), MEM),
+                to: (NodeId(0), SSD),
+            },
+        }
+    }
+
+    #[test]
+    fn transfer_byte_accounting() {
+        let t = Transfer {
+            id: TransferId(0),
+            file: FileId(0),
+            kind: TransferKind::Downgrade,
+            blocks: vec![
+                mv(0, 128),
+                BlockTransfer {
+                    block: BlockId(1),
+                    size: ByteSize::mb(64),
+                    action: BlockAction::Drop {
+                        from: (NodeId(1), MEM),
+                    },
+                },
+            ],
+        };
+        assert_eq!(t.bytes_moving(), ByteSize::mb(128), "drops move nothing");
+    }
+
+    #[test]
+    fn stats_accumulate_by_kind_and_tier() {
+        let mut table = TransferTable::new();
+        let id = table.insert(FileId(0), TransferKind::Downgrade, vec![mv(0, 128)]);
+        assert_eq!(table.in_flight(), 1);
+        table.complete(id).unwrap();
+        assert_eq!(table.in_flight(), 0);
+        assert_eq!(*table.stats().downgraded_to.get(SSD), ByteSize::mb(128));
+        assert_eq!(*table.stats().upgraded_to.get(SSD), ByteSize::ZERO);
+        assert_eq!(table.stats().transfers_completed, 1);
+
+        let up = table.insert(
+            FileId(1),
+            TransferKind::Upgrade,
+            vec![BlockTransfer {
+                block: BlockId(2),
+                size: ByteSize::mb(256),
+                action: BlockAction::Copy {
+                    from: (NodeId(0), StorageTier::Hdd),
+                    to: (NodeId(0), MEM),
+                },
+            }],
+        );
+        table.complete(up).unwrap();
+        assert_eq!(*table.stats().upgraded_to.get(MEM), ByteSize::mb(256));
+    }
+
+    #[test]
+    fn cancel_counts_separately() {
+        let mut table = TransferTable::new();
+        let id = table.insert(FileId(0), TransferKind::Upgrade, vec![mv(0, 10)]);
+        table.cancel(id).unwrap();
+        assert_eq!(table.stats().transfers_cancelled, 1);
+        assert_eq!(table.stats().transfers_completed, 0);
+        assert_eq!(*table.stats().upgraded_to.get(SSD), ByteSize::ZERO);
+        assert!(table.complete(id).is_none());
+    }
+
+    #[test]
+    fn action_accessors() {
+        let a = BlockAction::Move {
+            from: (NodeId(0), MEM),
+            to: (NodeId(1), SSD),
+        };
+        assert!(a.moves_bytes());
+        assert_eq!(a.destination(), Some((NodeId(1), SSD)));
+        assert_eq!(a.source(), (NodeId(0), MEM));
+        let d = BlockAction::Drop {
+            from: (NodeId(2), MEM),
+        };
+        assert!(!d.moves_bytes());
+        assert_eq!(d.destination(), None);
+    }
+
+    #[test]
+    fn replication_report_flags_deviations() {
+        let blocks = vec![
+            (BlockId(0), 3usize),
+            (BlockId(1), 2),
+            (BlockId(2), 4),
+            (BlockId(3), 3),
+        ];
+        let report = replication_report(blocks.into_iter(), 3);
+        assert_eq!(
+            report,
+            vec![(BlockId(1), 2, 3), (BlockId(2), 4, 3)]
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Integration tests for the `TieredDfs` facade: the full file lifecycle,
+//! two-phase transfers, and capacity invariants under churn.
+
+use octo_common::{ByteSize, DetRng, FileId, SimTime, StorageTier};
+use octo_dfs::{BlockAction, DfsConfig, DowngradeTarget, TieredDfs, TransferKind};
+use proptest::prelude::*;
+
+const MEM: StorageTier = StorageTier::Memory;
+const SSD: StorageTier = StorageTier::Ssd;
+const HDD: StorageTier = StorageTier::Hdd;
+
+fn dfs() -> TieredDfs {
+    TieredDfs::new(DfsConfig {
+        workers: 4,
+        ..DfsConfig::default()
+    })
+    .expect("valid config")
+}
+
+/// Creates and commits a file, returning its id.
+fn put(dfs: &mut TieredDfs, path: &str, size: ByteSize, now: SimTime) -> FileId {
+    let plan = dfs.create_file(path, size, now).expect("create");
+    dfs.commit_file(plan.file, now).expect("commit");
+    plan.file
+}
+
+#[test]
+fn create_commit_read_delete_roundtrip() {
+    let mut fs = dfs();
+    let t0 = SimTime::from_secs(10);
+    let f = put(&mut fs, "/data/input", ByteSize::mb(300), t0);
+
+    let meta = fs.file_meta(f).expect("live");
+    assert_eq!(meta.blocks.len(), 3, "300MB = 3 blocks of 128MB");
+    assert_eq!(meta.size, ByteSize::mb(300));
+
+    // Default OctopusFS placement: the file spans all three tiers.
+    assert!(fs.file_fully_on_tier(f, MEM));
+    assert!(fs.file_fully_on_tier(f, SSD));
+    assert!(fs.file_fully_on_tier(f, HDD));
+
+    fs.record_access(f, SimTime::from_secs(20)).unwrap();
+    fs.record_access(f, SimTime::from_secs(30)).unwrap();
+    let st = fs.file_stats(f).expect("stats");
+    assert_eq!(st.total_accesses, 2);
+    assert_eq!(st.last_access(), Some(SimTime::from_secs(30)));
+
+    let freed = fs.delete_file(f).unwrap();
+    assert_eq!(freed, ByteSize::mb(300) * 3, "3 replicas freed");
+    assert!(fs.file_meta(f).is_none());
+    assert_eq!(fs.file_count(), 0);
+    for t in StorageTier::ALL {
+        assert_eq!(fs.tier_usage(t).0, ByteSize::ZERO, "{t} must be empty");
+    }
+}
+
+#[test]
+fn uncommitted_files_are_not_readable_or_movable() {
+    let mut fs = dfs();
+    let plan = fs
+        .create_file("/tmp/writing", ByteSize::mb(64), SimTime::ZERO)
+        .unwrap();
+    assert!(fs.record_access(plan.file, SimTime::ZERO).is_err());
+    assert!(fs.plan_downgrade(plan.file, MEM, DowngradeTarget::Auto).is_err());
+    assert!(fs.delete_file(plan.file).is_err());
+    // Space is reserved while writing.
+    assert!(fs.tier_usage(MEM).0 > ByteSize::ZERO);
+}
+
+#[test]
+fn downgrade_moves_file_off_memory() {
+    let mut fs = dfs();
+    let f = put(&mut fs, "/d/f", ByteSize::mb(256), SimTime::ZERO);
+    let mem_before = fs.tier_usage(MEM).0;
+
+    let id = fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).unwrap();
+    let transfer = fs.transfer(id).expect("in flight").clone();
+    assert_eq!(transfer.kind, TransferKind::Downgrade);
+    assert_eq!(transfer.blocks.len(), 2);
+    // While in flight: the file cannot get a second transfer.
+    assert!(!fs.is_movable(f));
+    assert!(fs.plan_upgrade(f, MEM).is_err());
+    assert!(fs.delete_file(f).is_err());
+
+    fs.complete_transfer(id).unwrap();
+    assert!(!fs.file_on_tier(f, MEM), "memory replicas moved away");
+    assert!(fs.is_movable(f));
+    let mem_after = fs.tier_usage(MEM).0;
+    assert_eq!(mem_before - mem_after, ByteSize::mb(256));
+    // Replica count preserved (moved, not dropped).
+    for &b in &fs.file_meta(f).unwrap().blocks {
+        assert_eq!(fs.block_info(b).replicas().len(), 3);
+    }
+    assert_eq!(
+        *fs.movement_stats().downgraded_to.get(SSD)
+            + *fs.movement_stats().downgraded_to.get(HDD),
+        ByteSize::mb(256)
+    );
+}
+
+#[test]
+fn upgrade_brings_file_back_to_memory() {
+    let mut fs = dfs();
+    let f = put(&mut fs, "/d/f", ByteSize::mb(128), SimTime::ZERO);
+    let down = fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).unwrap();
+    fs.complete_transfer(down).unwrap();
+    assert!(!fs.file_on_tier(f, MEM));
+
+    let up = fs.plan_upgrade(f, MEM).unwrap();
+    let t = fs.transfer(up).unwrap().clone();
+    assert_eq!(t.kind, TransferKind::Upgrade);
+    // The source of the move is the slowest replica.
+    match t.blocks[0].action {
+        BlockAction::Move { from, to } => {
+            assert_eq!(from.1, HDD, "lowest-tier replica moves up");
+            assert_eq!(to.1, MEM);
+        }
+        other => panic!("expected a move, got {other:?}"),
+    }
+    fs.complete_transfer(up).unwrap();
+    assert!(fs.file_fully_on_tier(f, MEM));
+    // Upgrading again is a no-op error.
+    assert_eq!(
+        fs.plan_upgrade(f, MEM).unwrap_err().kind(),
+        "already_exists"
+    );
+}
+
+#[test]
+fn cancel_restores_everything() {
+    let mut fs = dfs();
+    let f = put(&mut fs, "/d/f", ByteSize::mb(128), SimTime::ZERO);
+    let usage_before: Vec<_> = StorageTier::ALL.iter().map(|t| fs.tier_usage(*t)).collect();
+
+    let id = fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).unwrap();
+    fs.cancel_transfer(id).unwrap();
+
+    let usage_after: Vec<_> = StorageTier::ALL.iter().map(|t| fs.tier_usage(*t)).collect();
+    assert_eq!(usage_before, usage_after, "reservations released");
+    assert!(fs.is_movable(f), "moving flags cleared");
+    assert!(fs.file_on_tier(f, MEM));
+    // And the replica can be selected again.
+    let id2 = fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).unwrap();
+    fs.complete_transfer(id2).unwrap();
+}
+
+#[test]
+fn drop_replicas_is_cache_eviction() {
+    let mut fs = dfs();
+    let f = put(&mut fs, "/d/f", ByteSize::mb(128), SimTime::ZERO);
+    let id = fs.plan_drop_replicas(f, MEM).unwrap();
+    fs.complete_transfer(id).unwrap();
+    assert!(!fs.file_on_tier(f, MEM));
+    for &b in &fs.file_meta(f).unwrap().blocks {
+        assert_eq!(fs.block_info(b).replicas().len(), 2, "one replica gone");
+    }
+    assert_eq!(*fs.movement_stats().dropped_from.get(MEM), ByteSize::mb(128));
+    // The replication monitor now flags the under-replicated block.
+    let report = fs.replication_report();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].1, 2);
+    assert_eq!(report[0].2, 3);
+}
+
+#[test]
+fn cache_copy_adds_memory_replica() {
+    let mut fs = TieredDfs::new(DfsConfig {
+        workers: 4,
+        ..DfsConfig::default()
+    })
+    .unwrap();
+    // HDFS-style: everything starts on HDD.
+    fs.placement_mut().restrict_initial_tiers(&[HDD]);
+    let f = put(&mut fs, "/d/f", ByteSize::mb(128), SimTime::ZERO);
+    assert!(!fs.file_on_tier(f, MEM));
+
+    let id = fs.plan_cache_copy(f, MEM).unwrap();
+    fs.complete_transfer(id).unwrap();
+    assert!(fs.file_fully_on_tier(f, MEM));
+    for &b in &fs.file_meta(f).unwrap().blocks {
+        assert_eq!(fs.block_info(b).replicas().len(), 4, "copy adds a replica");
+    }
+}
+
+#[test]
+fn memory_pressure_falls_back_to_lower_tiers() {
+    // Tiny memory: 512MB per node, so ~4 blocks fit cluster-wide at the
+    // 95% fill limit.
+    let mut fs = TieredDfs::new(DfsConfig {
+        workers: 2,
+        replication: 2,
+        tier_capacity: octo_common::PerTier::from_fn(|t| match t {
+            MEM => ByteSize::mb(512),
+            SSD => ByteSize::gb(8),
+            HDD => ByteSize::gb(64),
+        }),
+        ..DfsConfig::default()
+    })
+    .unwrap();
+    let mut on_mem = 0;
+    for i in 0..16 {
+        let f = put(
+            &mut fs,
+            &format!("/d/f{i}"),
+            ByteSize::mb(128),
+            SimTime::from_secs(i),
+        );
+        if fs.file_on_tier(f, MEM) {
+            on_mem += 1;
+        }
+    }
+    assert!(on_mem >= 3, "early files land in memory: {on_mem}");
+    assert!(on_mem <= 8, "memory cannot hold everything: {on_mem}");
+    assert!(fs.tier_utilization(MEM) <= 0.96);
+    // Everything was still written (16 files, 2 replicas each).
+    assert_eq!(fs.file_count(), 16);
+}
+
+#[test]
+fn out_of_capacity_create_rolls_back() {
+    let mut fs = TieredDfs::new(DfsConfig {
+        workers: 1,
+        replication: 1,
+        tier_capacity: octo_common::PerTier::splat(ByteSize::mb(256)),
+        ..DfsConfig::default()
+    })
+    .unwrap();
+    put(&mut fs, "/a", ByteSize::mb(200), SimTime::ZERO);
+    put(&mut fs, "/b", ByteSize::mb(200), SimTime::ZERO);
+    put(&mut fs, "/c", ByteSize::mb(200), SimTime::ZERO);
+    // All three tiers are now nearly full; the next write must fail cleanly.
+    let err = fs
+        .create_file("/overflow", ByteSize::mb(200), SimTime::ZERO)
+        .unwrap_err();
+    assert_eq!(err.kind(), "out_of_capacity");
+    assert!(!fs.file_id("/overflow").is_ok());
+    assert_eq!(fs.file_count(), 3, "failed create leaves no residue");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sequences of create/access/downgrade/upgrade/delete keep the
+    /// capacity accounting exact: after all transfers complete and all files
+    /// are deleted, every device is empty.
+    #[test]
+    fn prop_churn_conserves_space(seed in 0u64..10_000, ops in 10usize..40) {
+        let mut fs = dfs();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut live: Vec<FileId> = Vec::new();
+        let mut pending = Vec::new();
+        let mut next = 0u64;
+
+        for step in 0..ops {
+            let now = SimTime::from_secs(step as u64);
+            match rng.below(5) {
+                0 | 1 => {
+                    let mb = 1 + rng.below(256);
+                    let path = format!("/churn/f{next}");
+                    next += 1;
+                    if let Ok(plan) = fs.create_file(&path, ByteSize::mb(mb), now) {
+                        fs.commit_file(plan.file, now).unwrap();
+                        live.push(plan.file);
+                    }
+                }
+                2 => {
+                    if let Some(&f) = live.get(rng.index(live.len().max(1)).min(live.len().saturating_sub(1))) {
+                        if fs.is_movable(f) && fs.file_on_tier(f, MEM) {
+                            let id = fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).unwrap();
+                            pending.push(id);
+                        }
+                    }
+                }
+                3 => {
+                    if let Some(&f) = live.first() {
+                        if fs.is_movable(f) && !fs.file_fully_on_tier(f, MEM) {
+                            if let Ok(id) = fs.plan_upgrade(f, MEM) {
+                                pending.push(id);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Complete every pending transfer (in order).
+                    for id in pending.drain(..) {
+                        fs.complete_transfer(id).unwrap();
+                    }
+                }
+            }
+            // Invariant: no device oversubscribed, ever.
+            for t in StorageTier::ALL {
+                let (committed, cap) = fs.tier_usage(t);
+                prop_assert!(committed <= cap, "{t} oversubscribed");
+            }
+        }
+
+        for id in pending.drain(..) {
+            fs.complete_transfer(id).unwrap();
+        }
+        for f in live {
+            fs.delete_file(f).unwrap();
+        }
+        for t in StorageTier::ALL {
+            prop_assert_eq!(fs.tier_usage(t).0, ByteSize::ZERO, "{} leaked", t);
+        }
+        prop_assert_eq!(fs.transfers_in_flight(), 0);
+    }
+
+    /// Replicas of any block always sit on distinct nodes, through arbitrary
+    /// up/down moves.
+    #[test]
+    fn prop_fault_tolerance_invariant(seed in 0u64..10_000) {
+        let mut fs = dfs();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut files = Vec::new();
+        for i in 0..6 {
+            files.push(put(&mut fs, &format!("/p/f{i}"), ByteSize::mb(128), SimTime::from_secs(i)));
+        }
+        for step in 0..30u64 {
+            let f = files[rng.index(files.len())];
+            if !fs.is_movable(f) { continue; }
+            let id = if rng.chance(0.5) {
+                fs.plan_downgrade(f, MEM, DowngradeTarget::Auto).ok()
+            } else {
+                fs.plan_upgrade(f, MEM).ok()
+            };
+            if let Some(id) = id {
+                fs.complete_transfer(id).unwrap();
+            }
+            let _ = step;
+            for f in &files {
+                for &b in &fs.file_meta(*f).unwrap().blocks {
+                    let mut nodes: Vec<_> = fs.block_info(b).nodes().collect();
+                    let n = nodes.len();
+                    nodes.sort();
+                    nodes.dedup();
+                    prop_assert_eq!(nodes.len(), n, "replica node collision");
+                }
+            }
+        }
+    }
+}

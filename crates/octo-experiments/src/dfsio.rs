@@ -1,0 +1,74 @@
+//! Figure 2: DFSIO write/read throughput for the four file systems.
+
+use crate::settings::{ExpSettings, Mode};
+use octo_cluster::{run_dfsio, DfsioConfig, DfsioReport, Scenario};
+use octo_common::{ByteSize, PerTier, StorageTier};
+use octo_dfs::DfsConfig;
+
+/// Runs DFSIO for the paper's four scenarios (Figure 2's series).
+pub fn figure2(settings: &ExpSettings) -> Vec<DfsioReport> {
+    let scenarios = [
+        Scenario::Hdfs,
+        Scenario::HdfsCache,
+        Scenario::OctopusFs,
+        Scenario::policy_pair("xgb", "xgb"),
+    ];
+    scenarios
+        .iter()
+        .map(|s| {
+            let mut cfg = DfsioConfig {
+                scenario: s.clone(),
+                seed: settings.seed,
+                ..DfsioConfig::default()
+            };
+            if settings.mode == Mode::Quick {
+                cfg.dfs = DfsConfig {
+                    workers: 4,
+                    tier_capacity: PerTier::from_fn(|t| match t {
+                        StorageTier::Memory => ByteSize::gb(1),
+                        StorageTier::Ssd => ByteSize::gb(8),
+                        StorageTier::Hdd => ByteSize::gb(64),
+                    }),
+                    ..DfsConfig::default()
+                };
+                cfg.total = ByteSize::gb(8);
+                cfg.file_size = ByteSize::mb(512);
+                cfg.window = ByteSize::gb(1);
+            }
+            run_dfsio(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mean of the first/second half of a throughput series (individual
+    /// windows are noisy because parallel readers finish in waves).
+    fn half_means(series: &[(f64, f64)]) -> (f64, f64) {
+        let mid = series.len() / 2;
+        let mean = |s: &[(f64, f64)]| s.iter().map(|(_, m)| m).sum::<f64>() / s.len().max(1) as f64;
+        (mean(&series[..mid]), mean(&series[mid..]))
+    }
+
+    #[test]
+    fn figure2_reproduces_the_memory_cliff() {
+        let reports = figure2(&ExpSettings::quick(5));
+        assert_eq!(reports.len(), 4);
+        let octopus = &reports[2];
+        let hdfs = &reports[0];
+        let (oct_early, oct_late) = half_means(&octopus.read);
+        let (hdfs_early, _) = half_means(&hdfs.read);
+        // Early OctopusFS reads (memory-backed) are much faster than HDFS.
+        assert!(
+            oct_early > hdfs_early * 1.5,
+            "tiered early reads {oct_early:.0} vs HDFS {hdfs_early:.0} MB/s"
+        );
+        // And OctopusFS read throughput degrades once memory is exhausted.
+        assert!(
+            oct_late < oct_early,
+            "static placement must degrade: {oct_early:.0} -> {oct_late:.0} MB/s"
+        );
+    }
+}

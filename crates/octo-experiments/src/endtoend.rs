@@ -1,0 +1,119 @@
+//! End-to-end policy comparisons (§7.2–§7.4): Figures 6, 7, 8, 9, 10, 11,
+//! 12 and Table 4.
+
+use crate::settings::ExpSettings;
+use octo_cluster::{run_trace, RunReport, Scenario};
+use octo_metrics::{
+    completion_reduction, efficiency_improvement, hit_ratio_by_access, hit_ratio_by_location,
+    prefetch_stats, tier_access_distribution, HitRatios, PrefetchStats,
+};
+use octo_workload::TraceKind;
+
+/// One scenario's full outcome relative to the HDFS baseline.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario label (paper naming, e.g. "LRU-OSA").
+    pub label: String,
+    /// % reduction in mean completion time vs HDFS, per bin (Fig. 6/10/12).
+    pub completion_reduction: [f64; 6],
+    /// % improvement in cluster efficiency vs HDFS, per bin (Fig. 7).
+    pub efficiency_improvement: [f64; 6],
+    /// Per-bin tier access distribution `[MEM, SSD, HDD]` (Fig. 8).
+    pub tier_distribution: [[f64; 3]; 6],
+    /// HR/BHR based on where reads were served (Fig. 9/11).
+    pub hit_by_access: HitRatios,
+    /// HR/BHR based on memory-replica presence (Fig. 9).
+    pub hit_by_location: HitRatios,
+    /// Table 4 statistics.
+    pub prefetch: PrefetchStats,
+    /// The raw run.
+    pub report: RunReport,
+}
+
+/// Runs `scenarios` plus the HDFS baseline over one workload and collects
+/// every §7.2-§7.4 metric.
+pub fn compare_scenarios(
+    settings: &ExpSettings,
+    kind: TraceKind,
+    scenarios: &[Scenario],
+) -> Vec<ScenarioOutcome> {
+    let trace = settings.trace(kind);
+    let baseline = run_trace(settings.sim(Scenario::Hdfs), &trace);
+    scenarios
+        .iter()
+        .map(|s| {
+            let report = run_trace(settings.sim(s.clone()), &trace);
+            ScenarioOutcome {
+                label: s.label(),
+                completion_reduction: completion_reduction(&baseline, &report),
+                efficiency_improvement: efficiency_improvement(&baseline, &report),
+                tier_distribution: tier_access_distribution(&report),
+                hit_by_access: hit_ratio_by_access(&report),
+                hit_by_location: hit_ratio_by_location(&report),
+                prefetch: prefetch_stats(&report),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// The §7.2 scenario set: OctopusFS and the four policy pairs of Figure 6.
+pub fn main_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::OctopusFs,
+        Scenario::policy_pair("lru", "osa"),
+        Scenario::policy_pair("lrfu", "lrfu"),
+        Scenario::policy_pair("exd", "exd"),
+        Scenario::policy_pair("xgb", "xgb"),
+    ]
+}
+
+/// The §7.3 scenario set: all seven downgrade policies in isolation
+/// (Figure 10/11), plus plain OctopusFS for reference.
+pub fn downgrade_scenarios() -> Vec<Scenario> {
+    let mut v = vec![Scenario::OctopusFs];
+    for name in octo_policies::DOWNGRADE_NAMES {
+        v.push(Scenario::downgrade_only(name));
+    }
+    v
+}
+
+/// The §7.4 scenario set: the four upgrade policies with HDD-only initial
+/// placement (Figure 12 / Table 4).
+pub fn upgrade_scenarios() -> Vec<Scenario> {
+    octo_policies::UPGRADE_NAMES
+        .iter()
+        .map(|n| Scenario::upgrade_only(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_end_to_end_comparison() {
+        let settings = ExpSettings::quick(17);
+        let outcomes = compare_scenarios(
+            &settings,
+            TraceKind::Facebook,
+            &[Scenario::OctopusFs, Scenario::policy_pair("lru", "osa")],
+        );
+        assert_eq!(outcomes.len(), 2);
+        let lru = &outcomes[1];
+        // Policy-managed tiers serve more from memory than static placement.
+        assert!(lru.hit_by_access.hr >= outcomes[0].hit_by_access.hr);
+        // Location-based HR never undershoots access-based HR.
+        for o in &outcomes {
+            assert!(o.hit_by_location.hr >= o.hit_by_access.hr - 1e-9);
+            assert!(o.hit_by_location.bhr >= o.hit_by_access.bhr - 1e-9);
+        }
+    }
+
+    #[test]
+    fn scenario_sets_match_paper() {
+        assert_eq!(main_scenarios().len(), 5);
+        assert_eq!(downgrade_scenarios().len(), 8);
+        assert_eq!(upgrade_scenarios().len(), 4);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment drivers: one entry point per table/figure of the paper's
+//! evaluation (§3.1 and §7). The `bench` crate's cargo-bench targets call
+//! these and print paper-style rows; integration tests call them in `quick`
+//! mode to keep CI fast.
+
+pub mod dfsio;
+pub mod endtoend;
+pub mod model_eval;
+pub mod scalability;
+pub mod settings;
+pub mod workload_stats;
+
+pub use settings::{ExpSettings, Mode};

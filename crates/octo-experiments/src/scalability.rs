@@ -1,0 +1,76 @@
+//! Figure 13: scaling the cluster from 11 to 88 workers with the workload
+//! data scaled proportionally.
+
+use crate::settings::{ExpSettings, Mode};
+use octo_cluster::{run_trace, Scenario, SimConfig};
+use octo_dfs::DfsConfig;
+use octo_metrics::{completion_reduction, efficiency_improvement};
+use octo_workload::{generate, TraceKind, WorkloadConfig};
+
+/// One cluster-size point of Figure 13.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Worker count.
+    pub workers: u32,
+    /// % reduction in completion time vs HDFS at the same scale, per bin.
+    pub completion_reduction: [f64; 6],
+    /// % improvement in efficiency vs HDFS at the same scale, per bin.
+    pub efficiency_improvement: [f64; 6],
+}
+
+/// Runs the XGB-XGB scalability sweep (Figure 13). In quick mode the sweep
+/// is 4→8 workers instead of 11→88.
+pub fn figure13(settings: &ExpSettings, kind: TraceKind) -> Vec<ScalePoint> {
+    let (base_workers, factors): (u32, Vec<u32>) = match settings.mode {
+        Mode::Full => (11, vec![1, 2, 4, 8]),
+        Mode::Quick => (4, vec![1, 2]),
+    };
+    factors
+        .into_iter()
+        .map(|factor| {
+            let workers = base_workers * factor;
+            let wl = WorkloadConfig {
+                data_scale: factor as f64,
+                ..settings.workload(kind)
+            };
+            let trace = generate(&wl, settings.seed);
+            let mk = |scenario| SimConfig {
+                dfs: DfsConfig {
+                    workers,
+                    ..settings.sim(Scenario::Hdfs).dfs
+                },
+                scenario,
+                ..settings.sim(Scenario::Hdfs)
+            };
+            let base = run_trace(mk(Scenario::Hdfs), &trace);
+            let xgb = run_trace(mk(Scenario::policy_pair("xgb", "xgb")), &trace);
+            ScalePoint {
+                workers,
+                completion_reduction: completion_reduction(&base, &xgb),
+                efficiency_improvement: efficiency_improvement(&base, &xgb),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scalability_sweep_runs() {
+        let points = figure13(&ExpSettings::quick(23), TraceKind::Facebook);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workers, 4);
+        assert_eq!(points[1].workers, 8);
+        // XGB keeps beating HDFS at both scales on at least some bins.
+        for p in &points {
+            assert!(
+                p.efficiency_improvement.iter().any(|v| *v > 0.0),
+                "no efficiency win at {} workers: {:?}",
+                p.workers,
+                p.efficiency_improvement
+            );
+        }
+    }
+}

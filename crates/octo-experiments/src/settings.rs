@@ -1,0 +1,132 @@
+//! Shared experiment settings and quick/full scaling.
+
+use octo_access::{FeatureConfig, LearnerConfig};
+use octo_cluster::{Scenario, SimConfig};
+use octo_common::{ByteSize, PerTier, SimDuration, StorageTier};
+use octo_dfs::DfsConfig;
+use octo_gbt::GbtParams;
+use octo_workload::{generate, Trace, TraceKind, WorkloadConfig};
+
+/// Fidelity of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Scaled-down workloads for tests (hundreds of jobs, small tiers).
+    Quick,
+    /// Paper-scale workloads (1000/800 jobs, 11 workers, 6 h).
+    Full,
+}
+
+/// Settings shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpSettings {
+    /// Quick (tests) or full (benches).
+    pub mode: Mode,
+    /// Root seed; every experiment derives sub-seeds from it.
+    pub seed: u64,
+}
+
+impl ExpSettings {
+    /// Full-fidelity settings.
+    pub fn full(seed: u64) -> Self {
+        ExpSettings {
+            mode: Mode::Full,
+            seed,
+        }
+    }
+
+    /// Quick settings for tests.
+    pub fn quick(seed: u64) -> Self {
+        ExpSettings {
+            mode: Mode::Quick,
+            seed,
+        }
+    }
+
+    /// The workload generator config for a trace kind at this fidelity.
+    pub fn workload(&self, kind: TraceKind) -> WorkloadConfig {
+        let base = WorkloadConfig::for_kind(kind);
+        match self.mode {
+            Mode::Full => base,
+            Mode::Quick => WorkloadConfig {
+                jobs: base.jobs / 5,
+                duration: SimDuration::from_hours(2),
+                ..base
+            },
+        }
+    }
+
+    /// Generates the trace for a kind.
+    pub fn trace(&self, kind: TraceKind) -> Trace {
+        generate(&self.workload(kind), self.seed)
+    }
+
+    /// The simulator config for a scenario at this fidelity.
+    pub fn sim(&self, scenario: Scenario) -> SimConfig {
+        let dfs = match self.mode {
+            Mode::Full => DfsConfig::default(),
+            Mode::Quick => DfsConfig {
+                workers: 4,
+                tier_capacity: PerTier::from_fn(|t| match t {
+                    StorageTier::Memory => ByteSize::gb(2),
+                    StorageTier::Ssd => ByteSize::gb(24),
+                    StorageTier::Hdd => ByteSize::gb(200),
+                }),
+                ..DfsConfig::default()
+            },
+        };
+        SimConfig {
+            dfs,
+            learner: self.learner(FeatureConfig::default()),
+            scenario,
+            seed: self.seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The downgrade model's class window *for offline model evaluation*.
+    ///
+    /// The policy itself runs the paper's 6 h window, but evaluating a 6 h
+    /// window on a 6 h trace is degenerate: reference times predate almost
+    /// every file, and the few valid points are all labelled positive
+    /// ("accessed in the last 6 h" is trivially true inside a 6 h burst of
+    /// activity). The ROC studies therefore use a window that fits inside
+    /// the trace, preserving the question being asked — "has this file gone
+    /// cold?" — at a horizon the data can falsify.
+    pub fn downgrade_window(&self) -> SimDuration {
+        match self.mode {
+            Mode::Full => SimDuration::from_mins(90),
+            Mode::Quick => SimDuration::from_mins(45),
+        }
+    }
+
+    /// The upgrade model's class window at this fidelity (paper: 30 min).
+    pub fn upgrade_window(&self) -> SimDuration {
+        match self.mode {
+            Mode::Full => octo_policies::UPGRADE_WINDOW,
+            Mode::Quick => SimDuration::from_mins(20),
+        }
+    }
+
+    /// The learner config at this fidelity (paper hyper-parameters in full
+    /// mode, lighter trees in quick mode).
+    pub fn learner(&self, features: FeatureConfig) -> LearnerConfig {
+        match self.mode {
+            Mode::Full => LearnerConfig {
+                features,
+                gbt: GbtParams::paper_access_model(),
+                ..LearnerConfig::default()
+            },
+            Mode::Quick => LearnerConfig {
+                features,
+                gbt: GbtParams {
+                    rounds: 5,
+                    max_depth: 6,
+                    ..GbtParams::default()
+                },
+                min_points: 40,
+                buffer_max: 1500,
+                ..LearnerConfig::default()
+            },
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 3 and Figure 5: workload characterization.
+
+use crate::settings::ExpSettings;
+use octo_cluster::{run_trace, Scenario};
+use octo_metrics::{table3_rows, Cdf, Table3Row};
+use octo_workload::TraceKind;
+
+/// Table 3 rows measured by executing the workload on the HDFS baseline.
+pub fn table3(settings: &ExpSettings, kind: TraceKind) -> Vec<Table3Row> {
+    let trace = settings.trace(kind);
+    let report = run_trace(settings.sim(Scenario::Hdfs), &trace);
+    table3_rows(&trace, &report)
+}
+
+/// The three CDFs of Figure 5 for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadCdfs {
+    /// Job data size in MB.
+    pub job_size_mb: Cdf,
+    /// File size in MB.
+    pub file_size_mb: Cdf,
+    /// Per-file access frequency.
+    pub access_frequency: Cdf,
+}
+
+/// Computes Figure 5's CDFs from a generated trace.
+pub fn figure5(settings: &ExpSettings, kind: TraceKind) -> WorkloadCdfs {
+    let trace = settings.trace(kind);
+    let job_sizes: Vec<f64> = trace
+        .jobs
+        .iter()
+        .map(|j| trace.files[j.input].size.as_mb_f64())
+        .collect();
+    let file_sizes: Vec<f64> = trace.files.iter().map(|f| f.size.as_mb_f64()).collect();
+    let freqs: Vec<f64> = trace
+        .access_counts()
+        .into_iter()
+        .filter(|c| *c > 0)
+        .map(|c| c as f64)
+        .collect();
+    WorkloadCdfs {
+        job_size_mb: Cdf::new(job_sizes),
+        file_size_mb: Cdf::new(file_sizes),
+        access_frequency: Cdf::new(freqs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_bin_mix_tracks_paper() {
+        let rows = table3(&ExpSettings::quick(3), TraceKind::Facebook);
+        assert_eq!(rows.len(), 6);
+        let total: f64 = rows.iter().map(|r| r.pct_jobs).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        // Bin A dominates job counts but not I/O (the paper's key point).
+        assert!(rows[0].pct_jobs > 60.0);
+        assert!(rows[0].pct_io < rows[0].pct_jobs);
+    }
+
+    #[test]
+    fn figure5_cdfs_are_sane() {
+        let cdfs = figure5(&ExpSettings::quick(3), TraceKind::Cmu);
+        assert!(!cdfs.job_size_mb.is_empty());
+        // Most jobs are small (Fig. 5a).
+        assert!(cdfs.job_size_mb.probability(128.0) > 0.5);
+        // Some files are accessed more than 5 times (Fig. 5c).
+        assert!(cdfs.access_frequency.probability(5.0) < 1.0);
+    }
+}

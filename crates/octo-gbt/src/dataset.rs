@@ -1,0 +1,165 @@
+//! Training data container.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32` features with binary labels.
+///
+/// Missing values are encoded as `NaN` — the trainer's sparsity-aware split
+/// finder routes them through learned default directions, so callers never
+/// need to impute.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    values: Vec<f32>,
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// An empty dataset whose rows will have `n_features` columns.
+    pub fn new(n_features: usize) -> Self {
+        Dataset {
+            n_features,
+            values: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// An empty dataset with row capacity pre-reserved.
+    pub fn with_capacity(n_features: usize, rows: usize) -> Self {
+        Dataset {
+            n_features,
+            values: Vec::with_capacity(n_features * rows),
+            labels: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Appends one labelled row. `label` must be 0.0 or 1.0; the feature
+    /// slice length must match `n_features`.
+    pub fn push_row(&mut self, features: &[f32], label: f32) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "row has {} features, dataset expects {}",
+            features.len(),
+            self.n_features
+        );
+        debug_assert!(
+            label == 0.0 || label == 1.0,
+            "labels must be binary, got {label}"
+        );
+        self.values.extend_from_slice(features);
+        self.labels.push(label);
+    }
+
+    /// Number of columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature slice of row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.values[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The label of row `i`.
+    pub fn label(&self, i: usize) -> f32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// The value of feature `f` in row `i` (may be `NaN`).
+    pub fn value(&self, i: usize, f: usize) -> f32 {
+        self.values[i * self.n_features + f]
+    }
+
+    /// Fraction of rows labelled positive (0 for an empty dataset).
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&l| l as f64).sum::<f64>() / self.labels.len() as f64
+    }
+
+    /// Appends every row of `other` (must have the same width).
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.n_features, other.n_features, "feature width mismatch");
+        self.values.extend_from_slice(&other.values);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Keeps only the most recent `max_rows` rows (a sliding-window buffer
+    /// for incremental learning).
+    pub fn truncate_front(&mut self, max_rows: usize) {
+        let n = self.n_rows();
+        if n <= max_rows {
+            return;
+        }
+        let drop = n - max_rows;
+        self.values.drain(0..drop * self.n_features);
+        self.labels.drain(0..drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.push_row(&[1.0, 2.0, 3.0], 1.0);
+        d.push_row(&[4.0, f32::NAN, 6.0], 0.0);
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = sample();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.label(1), 0.0);
+        assert!(d.value(1, 1).is_nan());
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset expects")]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn extend_and_truncate_window() {
+        let mut d = sample();
+        let d2 = sample();
+        d.extend_from(&d2);
+        assert_eq!(d.n_rows(), 4);
+        d.truncate_front(3);
+        assert_eq!(d.n_rows(), 3);
+        // The oldest row was dropped; what was row 1 is now row 0.
+        assert!(d.value(0, 1).is_nan());
+        d.truncate_front(10); // no-op when already small enough
+        assert_eq!(d.n_rows(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_positive_rate_is_zero() {
+        assert_eq!(Dataset::new(4).positive_rate(), 0.0);
+        assert!(Dataset::new(4).is_empty());
+    }
+}

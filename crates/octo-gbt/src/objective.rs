@@ -1,0 +1,102 @@
+//! The binary logistic objective and its evaluation metrics.
+
+/// Numerically stable logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// First-order gradient of binary cross-entropy w.r.t. the margin:
+/// `p - y` where `p = sigmoid(margin)`.
+pub fn grad(margin: f64, label: f64) -> f64 {
+    sigmoid(margin) - label
+}
+
+/// Second-order gradient (hessian): `p * (1 - p)`, floored away from zero
+/// for numerical stability in leaf-weight denominators.
+pub fn hess(margin: f64) -> f64 {
+    let p = sigmoid(margin);
+    (p * (1.0 - p)).max(1e-16)
+}
+
+/// Mean binary cross-entropy of probability predictions against labels.
+/// Probabilities are clamped away from {0, 1} so the result stays finite.
+pub fn logloss(probs: &[f64], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&p, &y) in probs.iter().zip(labels) {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        total -= if y > 0.5 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probs.len() as f64
+}
+
+/// Classification accuracy at a fixed discrimination threshold.
+pub fn accuracy(probs: &[f64], labels: &[f32], threshold: f64) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let correct = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= threshold) == (y > 0.5))
+        .count();
+    correct as f64 / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // Stability at extremes: no NaN/inf.
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+        // Symmetry.
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_point_the_right_way() {
+        // Predicting 0.5 on a positive example: gradient negative direction
+        // (margin should increase), i.e. grad = p - y = -0.5.
+        assert!((grad(0.0, 1.0) + 0.5).abs() < 1e-12);
+        assert!((grad(0.0, 0.0) - 0.5).abs() < 1e-12);
+        assert!(hess(0.0) > 0.24 && hess(0.0) <= 0.25);
+        assert!(hess(50.0) > 0.0, "hessian must stay positive");
+    }
+
+    #[test]
+    fn logloss_prefers_better_predictions() {
+        let labels = [1.0f32, 0.0];
+        let good = logloss(&[0.9, 0.1], &labels);
+        let bad = logloss(&[0.6, 0.4], &labels);
+        assert!(good < bad);
+        // Perfect but clamped predictions stay finite.
+        assert!(logloss(&[1.0, 0.0], &labels).is_finite());
+        assert_eq!(logloss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_thresholding() {
+        let labels = [1.0f32, 0.0, 1.0, 0.0];
+        let probs = [0.9, 0.2, 0.4, 0.6];
+        // At 0.5: predictions 1,0,0,1 vs labels 1,0,1,0 -> 2/4 correct.
+        assert!((accuracy(&probs, &labels, 0.5) - 0.5).abs() < 1e-12);
+        // At 0.3: predictions 1,0,1,1 vs labels 1,0,1,0 -> 3/4 correct.
+        assert!((accuracy(&probs, &labels, 0.3) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Boosting hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`crate::Gbt`] training.
+///
+/// Defaults follow XGBoost's; the paper's access models override
+/// `max_depth = 20` and `rounds = 10` (its grid-searched values, §4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Number of boosting rounds (trees) per training call.
+    pub rounds: usize,
+    /// Maximum tree depth (root = depth 0). `0` produces a single leaf.
+    pub max_depth: usize,
+    /// Learning rate (shrinkage) applied to every leaf value.
+    pub eta: f64,
+    /// L2 regularization on leaf weights (XGBoost's λ).
+    pub lambda: f64,
+    /// Minimum loss reduction required to make a split (XGBoost's γ).
+    pub gamma: f64,
+    /// Minimum sum of instance hessians required in each child.
+    pub min_child_weight: f64,
+    /// Initial prediction expressed as a probability; the boosting margin
+    /// starts at `logit(base_score)`.
+    pub base_score: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            rounds: 10,
+            max_depth: 6,
+            eta: 0.3,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            base_score: 0.5,
+        }
+    }
+}
+
+impl GbtParams {
+    /// The configuration used by the paper's file-access models (§4.3):
+    /// depth 20, 10 rounds, remaining parameters at XGBoost defaults.
+    pub fn paper_access_model() -> Self {
+        GbtParams {
+            rounds: 10,
+            max_depth: 20,
+            ..GbtParams::default()
+        }
+    }
+
+    /// The boosting margin corresponding to `base_score`.
+    pub fn base_margin(&self) -> f64 {
+        let p = self.base_score.clamp(1e-9, 1.0 - 1e-9);
+        (p / (1.0 - p)).ln()
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    // The negated comparisons are deliberate: `!(x >= 0.0)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be >= 1".into());
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(format!("eta must be in (0, 1], got {}", self.eta));
+        }
+        if !(self.lambda >= 0.0) {
+            return Err(format!("lambda must be >= 0, got {}", self.lambda));
+        }
+        if !(self.gamma >= 0.0) {
+            return Err(format!("gamma must be >= 0, got {}", self.gamma));
+        }
+        if !(self.min_child_weight >= 0.0) {
+            return Err(format!(
+                "min_child_weight must be >= 0, got {}",
+                self.min_child_weight
+            ));
+        }
+        if !(self.base_score > 0.0 && self.base_score < 1.0) {
+            return Err(format!(
+                "base_score must be in (0, 1), got {}",
+                self.base_score
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(GbtParams::default().validate().is_ok());
+        assert!(GbtParams::paper_access_model().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_params_match_section_4_3() {
+        let p = GbtParams::paper_access_model();
+        assert_eq!(p.max_depth, 20);
+        assert_eq!(p.rounds, 10);
+    }
+
+    #[test]
+    fn base_margin_of_half_is_zero() {
+        let p = GbtParams::default();
+        assert!(p.base_margin().abs() < 1e-12);
+        let p = GbtParams {
+            base_score: 0.9,
+            ..GbtParams::default()
+        };
+        assert!(p.base_margin() > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = |f: fn(&mut GbtParams)| {
+            let mut p = GbtParams::default();
+            f(&mut p);
+            p.validate().is_err()
+        };
+        assert!(bad(|p| p.rounds = 0));
+        assert!(bad(|p| p.eta = 0.0));
+        assert!(bad(|p| p.eta = 1.5));
+        assert!(bad(|p| p.lambda = -1.0));
+        assert!(bad(|p| p.gamma = f64::NAN));
+        assert!(bad(|p| p.base_score = 1.0));
+        assert!(bad(|p| p.min_child_weight = -0.5));
+    }
+}

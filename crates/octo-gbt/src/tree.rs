@@ -1,0 +1,198 @@
+//! A single regression tree of the boosted ensemble.
+
+use serde::{Deserialize, Serialize};
+
+/// One node of a [`Tree`], stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// An internal decision node. Rows with `row[feature] < threshold` go
+    /// left, rows with a greater-or-equal value go right, and rows whose
+    /// feature is missing (`NaN`) follow the learned `default_left`.
+    Split {
+        /// Column tested by this node.
+        feature: usize,
+        /// Split threshold (midpoint between adjacent training values).
+        threshold: f32,
+        /// Where missing values are routed.
+        default_left: bool,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+    /// A terminal node contributing `value` to the boosting margin.
+    Leaf {
+        /// Leaf weight, already scaled by the learning rate.
+        value: f64,
+    },
+}
+
+/// A regression tree mapping a feature row to a margin contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    /// Total split gain contributed by each feature (importance bookkeeping).
+    feature_gain: Vec<f64>,
+}
+
+impl Tree {
+    /// An empty tree skeleton for `n_features` columns. The trainer pushes
+    /// nodes; node 0 becomes the root.
+    pub(crate) fn new(n_features: usize) -> Self {
+        Tree {
+            nodes: Vec::new(),
+            feature_gain: vec![0.0; n_features],
+        }
+    }
+
+    pub(crate) fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    pub(crate) fn set_children(&mut self, idx: usize, l: usize, r: usize) {
+        match &mut self.nodes[idx] {
+            Node::Split { left, right, .. } => {
+                *left = l;
+                *right = r;
+            }
+            Node::Leaf { .. } => unreachable!("set_children called on a leaf"),
+        }
+    }
+
+    pub(crate) fn record_gain(&mut self, feature: usize, gain: f64) {
+        self.feature_gain[feature] += gain;
+    }
+
+    /// The margin contribution of this tree for one feature row.
+    pub fn predict(&self, row: &[f32]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    default_left,
+                    left,
+                    right,
+                } => {
+                    let v = row[*feature];
+                    let go_left = if v.is_nan() { *default_left } else { v < *threshold };
+                    idx = if go_left { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum root-to-leaf depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Per-feature total split gain accumulated while growing this tree.
+    pub fn feature_gain(&self) -> &[f64] {
+        &self.feature_gain
+    }
+
+    /// Approximate in-memory footprint in bytes (for the §7.7 overheads
+    /// experiment).
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.feature_gain.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Read-only access to the node arena (diagnostics and tests).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build:   root: x0 < 0.5 (missing -> left)
+    ///               left: leaf(-1.0)   right: x1 < 2.0 (missing -> right)
+    ///                                  rl: leaf(0.5)   rr: leaf(2.0)
+    fn sample_tree() -> Tree {
+        let mut t = Tree::new(2);
+        let root = t.push(Node::Split {
+            feature: 0,
+            threshold: 0.5,
+            default_left: true,
+            left: 0,
+            right: 0,
+        });
+        let l = t.push(Node::Leaf { value: -1.0 });
+        let r = t.push(Node::Split {
+            feature: 1,
+            threshold: 2.0,
+            default_left: false,
+            left: 0,
+            right: 0,
+        });
+        let rl = t.push(Node::Leaf { value: 0.5 });
+        let rr = t.push(Node::Leaf { value: 2.0 });
+        t.set_children(root, l, r);
+        t.set_children(r, rl, rr);
+        t
+    }
+
+    #[test]
+    fn prediction_routing() {
+        let t = sample_tree();
+        assert_eq!(t.predict(&[0.0, 9.9]), -1.0);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0.5);
+        assert_eq!(t.predict(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn missing_values_follow_default_direction() {
+        let t = sample_tree();
+        // Root default is left.
+        assert_eq!(t.predict(&[f32::NAN, 0.0]), -1.0);
+        // Inner node default is right.
+        assert_eq!(t.predict(&[1.0, f32::NAN]), 2.0);
+    }
+
+    #[test]
+    fn shape_statistics() {
+        let t = sample_tree();
+        assert_eq!(t.n_nodes(), 5);
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.depth(), 2);
+        assert!(t.approx_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut t = Tree::new(1);
+        t.push(Node::Leaf { value: 0.25 });
+        assert_eq!(t.predict(&[123.0]), 0.25);
+        assert_eq!(t.depth(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Empirical cumulative distribution functions (Figure 5).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (non-finite values are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were kept.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= x).
+    pub fn probability(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|v| *v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (q in [0,1]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// `(x, P(X<=x))` points at the given probe positions (for plotting on
+    /// a log axis like the paper's Figure 5).
+    pub fn points(&self, probes: &[f64]) -> Vec<(f64, f64)> {
+        probes.iter().map(|&x| (x, self.probability(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_and_quantiles() {
+        let cdf = Cdf::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.probability(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.probability(2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.probability(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn monotone_points() {
+        let cdf = Cdf::new((0..100).map(|i| i as f64).collect());
+        let pts = cdf.points(&[10.0, 20.0, 50.0, 99.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.probability(1.0), 0.0);
+        assert!(cdf.quantile(0.5).is_nan());
+    }
+}

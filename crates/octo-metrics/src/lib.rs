@@ -1,0 +1,21 @@
+//! Metrics and reporting: turns raw [`octo_cluster::RunReport`]s into the
+//! numbers the paper's tables and figures show.
+//!
+//! * [`aggregate`] — per-bin completion-time reduction (Fig. 6/10/12),
+//!   cluster-efficiency improvement (Fig. 7/13), tier access distribution
+//!   (Fig. 8), hit ratios (Fig. 9/11), and prefetch accuracy/coverage
+//!   (Table 4).
+//! * [`cdf`] — empirical CDFs (Fig. 5).
+//! * [`table`] — plain-text table rendering for the bench harnesses.
+
+pub mod aggregate;
+pub mod cdf;
+pub mod table;
+
+pub use aggregate::{
+    completion_reduction, efficiency_improvement, hit_ratio_by_access, hit_ratio_by_location,
+    per_bin, prefetch_stats, table3_rows, tier_access_distribution, BinStat, HitRatios,
+    PrefetchStats, Table3Row,
+};
+pub use cdf::Cdf;
+pub use table::render_table;

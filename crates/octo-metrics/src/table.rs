@@ -1,0 +1,64 @@
+//! Plain-text table rendering for the bench harnesses.
+
+/// Renders an aligned ASCII table. `headers.len()` must match every row's
+/// width.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render_table(
+            &["Bin", "Value"],
+            &[
+                vec!["A".into(), "74.4%".into()],
+                vec!["B".into(), "16.2%".into()],
+            ],
+        );
+        assert!(t.contains("| Bin | Value |"));
+        assert!(t.contains("| A   | 74.4% |"));
+        let first = t.lines().next().unwrap().len();
+        assert!(t.lines().all(|l| l.len() == first), "all lines same width");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        render_table(&["A", "B"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Classic eviction policies: LRU and LFU (paper Table 1).
+
+use crate::framework::{
+    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig,
+};
+use octo_common::{FileId, SimTime, StorageTier};
+use octo_dfs::TieredDfs;
+use std::collections::BTreeSet;
+
+/// The time a file counts as "last used": its last access, or its creation
+/// for never-accessed files.
+pub(crate) fn last_used(dfs: &TieredDfs, file: FileId) -> SimTime {
+    dfs.file_stats(file)
+        .map(|s| s.last_access().unwrap_or(s.created))
+        .unwrap_or(SimTime::ZERO)
+}
+
+pub(crate) fn access_count(dfs: &TieredDfs, file: FileId) -> u64 {
+    dfs.file_stats(file).map_or(0, |s| s.total_accesses)
+}
+
+/// Least Recently Used: downgrade the file used least recently.
+#[derive(Debug, Clone)]
+pub struct LruDowngrade {
+    cfg: TieringConfig,
+}
+
+impl LruDowngrade {
+    /// LRU with the given thresholds.
+    pub fn new(cfg: TieringConfig) -> Self {
+        LruDowngrade { cfg }
+    }
+}
+
+impl DowngradePolicy for LruDowngrade {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        _now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        downgrade_candidates(dfs, tier, skip)
+            .into_iter()
+            .min_by_key(|f| (last_used(dfs, *f), *f))
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+}
+
+/// Least Frequently Used: downgrade the file with the fewest accesses.
+#[derive(Debug, Clone)]
+pub struct LfuDowngrade {
+    cfg: TieringConfig,
+}
+
+impl LfuDowngrade {
+    /// LFU with the given thresholds.
+    pub fn new(cfg: TieringConfig) -> Self {
+        LfuDowngrade { cfg }
+    }
+}
+
+impl DowngradePolicy for LfuDowngrade {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        _now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        downgrade_candidates(dfs, tier, skip)
+            .into_iter()
+            .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f))
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+}
+
+/// On Single Access: upgrade a file into memory when it is read and not
+/// already there (paper Table 2). Upgrades from HDD to SSD are not allowed —
+/// the target is always the memory tier.
+#[derive(Debug, Clone)]
+pub struct OsaUpgrade;
+
+impl crate::framework::UpgradePolicy for OsaUpgrade {
+    fn name(&self) -> &'static str {
+        "osa"
+    }
+
+    fn start_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        _now: SimTime,
+    ) -> bool {
+        accessed.is_some_and(|f| {
+            dfs.is_movable(f) && !dfs.file_fully_on_tier(f, StorageTier::Memory)
+        })
+    }
+
+    fn select_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        _now: SimTime,
+        already: &BTreeSet<FileId>,
+    ) -> Option<crate::framework::UpgradeChoice> {
+        let f = accessed?;
+        if already.contains(&f) || !dfs.is_movable(f) {
+            return None;
+        }
+        Some(crate::framework::UpgradeChoice {
+            file: f,
+            to: StorageTier::Memory,
+        })
+    }
+
+    fn stop_upgrade(
+        &mut self,
+        _dfs: &TieredDfs,
+        _now: SimTime,
+        _scheduled: octo_common::ByteSize,
+        _count: u32,
+    ) -> bool {
+        true // at most the accessed file
+    }
+}

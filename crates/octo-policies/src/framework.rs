@@ -1,0 +1,351 @@
+//! The pluggable policy framework (paper §3.2, Algorithms 1 and 2).
+//!
+//! A policy answers the four decision points:
+//!
+//! 1. *when to start* the downgrade/upgrade process,
+//! 2. *which file* to move,
+//! 3. *how/where* to move it (target tier — node selection is delegated to
+//!    the multi-objective placement policy, §5.3/§6.3),
+//! 4. *when to stop* the process.
+//!
+//! plus lifecycle callbacks (file created / accessed / deleted, periodic
+//! tick) through which stateful policies maintain weights or train models.
+//!
+//! [`TieringEngine`] is the Replication Manager's orchestration loop: it
+//! runs Algorithm 1 and Algorithm 2 against a [`TieredDfs`], producing the
+//! [`TransferId`]s whose I/O the cluster layer then simulates.
+
+use octo_common::{ByteSize, FileId, SimDuration, SimTime, StorageTier};
+use octo_dfs::{DowngradeTarget, TieredDfs, TransferId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tunable thresholds shared by the built-in policies (paper defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieringConfig {
+    /// Downgrading from a tier starts above this utilization (§5.1, 90%).
+    pub start_threshold: f64,
+    /// ... and stops below this utilization (§5.4, 85%).
+    pub stop_threshold: f64,
+    /// LRFU half-life `H` (Formula 1; §5.2, 6 hours).
+    pub lrfu_half_life: SimDuration,
+    /// LRFU upgrade weight threshold (§6.1, empirically 3).
+    pub lrfu_upgrade_threshold: f64,
+    /// EXD decay constant α per millisecond (§5.2; 1.16e-8 following Big
+    /// SQL — interpreted per-ms, giving a ≈16.6 h half-life).
+    pub exd_alpha: f64,
+    /// LIFE / LFU-F old-file window (§5.2, e.g. 9 hours).
+    pub pacman_window: SimDuration,
+    /// How many LRU/MRU candidates the XGB policies score (§5.2/§6.1, 200).
+    pub xgb_candidates: usize,
+    /// XGB discrimination threshold (§6.1, 0.5).
+    pub xgb_threshold: f64,
+    /// XGB upgrade batch byte limit (§6.4, 1 GB).
+    pub xgb_upgrade_limit: ByteSize,
+    /// How many files the periodic tick samples for training data (§4.2).
+    pub sample_files_per_tick: usize,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        TieringConfig {
+            start_threshold: 0.90,
+            stop_threshold: 0.85,
+            lrfu_half_life: SimDuration::from_hours(6),
+            lrfu_upgrade_threshold: 3.0,
+            exd_alpha: 1.16e-8,
+            pacman_window: SimDuration::from_hours(9),
+            xgb_candidates: 200,
+            xgb_threshold: 0.5,
+            xgb_upgrade_limit: ByteSize::gb(1),
+            sample_files_per_tick: 64,
+        }
+    }
+}
+
+/// Effective utilization of a tier: committed bytes minus the bytes already
+/// scheduled to leave it, over capacity. Policies must use this (not the raw
+/// utilization) so a planning loop observes its own progress.
+pub fn effective_utilization(dfs: &TieredDfs, tier: StorageTier) -> f64 {
+    let (committed, capacity) = dfs.tier_usage(tier);
+    let outgoing = pending_outgoing(dfs, tier);
+    committed.saturating_sub(outgoing).fraction_of(capacity)
+}
+
+/// Bytes currently scheduled to move off or be dropped from `tier`.
+pub fn pending_outgoing(dfs: &TieredDfs, tier: StorageTier) -> ByteSize {
+    let mut total = ByteSize::ZERO;
+    for meta in dfs.iter_files() {
+        if meta.in_flight == 0 {
+            continue;
+        }
+        for &b in &meta.blocks {
+            for r in dfs.block_info(b).replicas() {
+                if r.moving && r.tier == tier {
+                    total += dfs.block_info(b).size;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Movable downgrade candidates on a tier, ascending by id: committed files
+/// with a live replica on `tier`, no transfer in flight, and not in `skip`.
+pub fn downgrade_candidates(
+    dfs: &TieredDfs,
+    tier: StorageTier,
+    skip: &BTreeSet<FileId>,
+) -> Vec<FileId> {
+    dfs.files_on_tier(tier)
+        .into_iter()
+        .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
+        .collect()
+}
+
+/// A downgrade policy: Algorithm 1's four decision points plus callbacks.
+pub trait DowngradePolicy {
+    /// Short identifier used in reports ("lru", "xgb", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decision point 1: should the downgrade process start for `tier`?
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, now: SimTime) -> bool;
+
+    /// Decision point 2: which file to downgrade next. `skip` holds files
+    /// already attempted in this run.
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId>;
+
+    /// Decision point 3: where the replicas go (default: let the placement
+    /// policy choose among lower tiers, per §5.3).
+    fn select_target(&mut self, _dfs: &TieredDfs, _file: FileId, _from: StorageTier) -> DowngradeTarget {
+        DowngradeTarget::Auto
+    }
+
+    /// Decision point 4: should the process stop?
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, now: SimTime) -> bool;
+
+    /// A file was created and committed.
+    fn on_file_created(&mut self, _dfs: &TieredDfs, _file: FileId, _now: SimTime) {}
+
+    /// A file was accessed (statistics already updated).
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, _file: FileId, _now: SimTime) {}
+
+    /// A file was deleted.
+    fn on_file_deleted(&mut self, _file: FileId, _now: SimTime) {}
+
+    /// Periodic housekeeping (model training data sampling etc.).
+    fn on_tick(&mut self, _dfs: &TieredDfs, _now: SimTime) {}
+}
+
+/// An upgrade request produced by Algorithm 2's inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradeChoice {
+    /// File to move up.
+    pub file: FileId,
+    /// Destination tier.
+    pub to: StorageTier,
+}
+
+/// An upgrade policy: Algorithm 2's decision points plus callbacks.
+pub trait UpgradePolicy {
+    /// Short identifier used in reports ("osa", "xgb", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decision point 1: should the upgrade process start? `accessed` is the
+    /// file whose access triggered the invocation (absent on the periodic
+    /// proactive invocation).
+    fn start_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        now: SimTime,
+    ) -> bool;
+
+    /// Decision points 2+3: next file to upgrade and its target tier.
+    /// `already` holds files selected earlier in this run.
+    fn select_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        now: SimTime,
+        already: &BTreeSet<FileId>,
+    ) -> Option<UpgradeChoice>;
+
+    /// Decision point 4: stop after `scheduled` bytes across `count` files?
+    fn stop_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        now: SimTime,
+        scheduled: ByteSize,
+        count: u32,
+    ) -> bool;
+
+    /// A file was created and committed.
+    fn on_file_created(&mut self, _dfs: &TieredDfs, _file: FileId, _now: SimTime) {}
+
+    /// A file was accessed (statistics already updated).
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, _file: FileId, _now: SimTime) {}
+
+    /// A file was deleted.
+    fn on_file_deleted(&mut self, _file: FileId, _now: SimTime) {}
+
+    /// Periodic housekeeping.
+    fn on_tick(&mut self, _dfs: &TieredDfs, _now: SimTime) {}
+}
+
+/// The Replication Manager's policy orchestrator.
+pub struct TieringEngine {
+    downgrade: Option<Box<dyn DowngradePolicy>>,
+    upgrade: Option<Box<dyn UpgradePolicy>>,
+}
+
+impl TieringEngine {
+    /// An engine with both processes enabled. Pass `None` to disable one
+    /// (the §7.3/§7.4 isolation experiments do exactly that).
+    pub fn new(
+        downgrade: Option<Box<dyn DowngradePolicy>>,
+        upgrade: Option<Box<dyn UpgradePolicy>>,
+    ) -> Self {
+        TieringEngine { downgrade, upgrade }
+    }
+
+    /// An engine with no policies: plain OctopusFS.
+    pub fn disabled() -> Self {
+        TieringEngine {
+            downgrade: None,
+            upgrade: None,
+        }
+    }
+
+    /// Names of the active policies, for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "down={} up={}",
+            self.downgrade.as_ref().map_or("none", |p| p.name()),
+            self.upgrade.as_ref().map_or("none", |p| p.name())
+        )
+    }
+
+    /// Runs Algorithm 1 for `tier`, returning the transfers planned.
+    pub fn run_downgrade(
+        &mut self,
+        dfs: &mut TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Vec<TransferId> {
+        let Some(policy) = self.downgrade.as_mut() else {
+            return Vec::new();
+        };
+        let mut planned = Vec::new();
+        if !policy.start_downgrade(dfs, tier, now) {
+            return planned;
+        }
+        let mut skip = BTreeSet::new();
+        loop {
+            let Some(file) = policy.select_file(dfs, tier, now, &skip) else {
+                break;
+            };
+            skip.insert(file);
+            let target = policy.select_target(dfs, file, tier);
+            if let Ok(id) = dfs.plan_downgrade(file, tier, target) {
+                planned.push(id);
+            }
+            if policy.stop_downgrade(dfs, tier, now) {
+                break;
+            }
+        }
+        planned
+    }
+
+    /// Runs Algorithm 2, returning the transfers planned. `accessed` is the
+    /// file being read (if this invocation piggybacks on an access).
+    pub fn run_upgrade(
+        &mut self,
+        dfs: &mut TieredDfs,
+        accessed: Option<FileId>,
+        now: SimTime,
+    ) -> Vec<TransferId> {
+        let Some(policy) = self.upgrade.as_mut() else {
+            return Vec::new();
+        };
+        let mut planned = Vec::new();
+        if !policy.start_upgrade(dfs, accessed, now) {
+            return planned;
+        }
+        let mut already = BTreeSet::new();
+        let mut scheduled = ByteSize::ZERO;
+        loop {
+            let Some(choice) = policy.select_upgrade(dfs, accessed, now, &already) else {
+                break;
+            };
+            already.insert(choice.file);
+            if let Ok(id) = dfs.plan_upgrade(choice.file, choice.to) {
+                scheduled += dfs
+                    .transfer(id)
+                    .map(|t| t.bytes_moving())
+                    .unwrap_or(ByteSize::ZERO);
+                planned.push(id);
+            }
+            if policy.stop_upgrade(dfs, now, scheduled, planned.len() as u32) {
+                break;
+            }
+        }
+        planned
+    }
+
+    /// Fans a file-created event out to both policies.
+    pub fn notify_created(&mut self, dfs: &TieredDfs, file: FileId, now: SimTime) {
+        if let Some(p) = self.downgrade.as_mut() {
+            p.on_file_created(dfs, file, now);
+        }
+        if let Some(p) = self.upgrade.as_mut() {
+            p.on_file_created(dfs, file, now);
+        }
+    }
+
+    /// Fans a file-accessed event out to both policies.
+    pub fn notify_accessed(&mut self, dfs: &TieredDfs, file: FileId, now: SimTime) {
+        if let Some(p) = self.downgrade.as_mut() {
+            p.on_file_accessed(dfs, file, now);
+        }
+        if let Some(p) = self.upgrade.as_mut() {
+            p.on_file_accessed(dfs, file, now);
+        }
+    }
+
+    /// Fans a file-deleted event out to both policies.
+    pub fn notify_deleted(&mut self, file: FileId, now: SimTime) {
+        if let Some(p) = self.downgrade.as_mut() {
+            p.on_file_deleted(file, now);
+        }
+        if let Some(p) = self.upgrade.as_mut() {
+            p.on_file_deleted(file, now);
+        }
+    }
+
+    /// Fans the periodic tick out to both policies.
+    pub fn tick(&mut self, dfs: &TieredDfs, now: SimTime) {
+        if let Some(p) = self.downgrade.as_mut() {
+            p.on_tick(dfs, now);
+        }
+        if let Some(p) = self.upgrade.as_mut() {
+            p.on_tick(dfs, now);
+        }
+    }
+
+    /// Whether a downgrade policy is installed.
+    pub fn has_downgrade(&self) -> bool {
+        self.downgrade.is_some()
+    }
+
+    /// Whether an upgrade policy is installed.
+    pub fn has_upgrade(&self) -> bool {
+        self.upgrade.is_some()
+    }
+}

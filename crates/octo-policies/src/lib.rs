@@ -1,0 +1,33 @@
+//! Automated tiered-storage management policies (paper §3.2, §5, §6).
+//!
+//! The [`framework`] module defines the four-decision-point policy traits
+//! and the [`framework::TieringEngine`] that runs Algorithms 1 and 2 against
+//! a [`octo_dfs::TieredDfs`]. The remaining modules implement all eleven
+//! policies of Tables 1 and 2:
+//!
+//! | Downgrade | Module | Upgrade | Module |
+//! |-----------|--------|---------|--------|
+//! | LRU       | [`classic`] | OSA  | [`classic`] |
+//! | LFU       | [`classic`] | LRFU | [`weights`] |
+//! | LRFU      | [`weights`] | EXD  | [`weights`] |
+//! | LIFE      | [`pacman`]  | XGB  | [`xgb`]     |
+//! | LFU-F     | [`pacman`]  |      |             |
+//! | EXD       | [`weights`] |      |             |
+//! | XGB       | [`xgb`]     |      |             |
+
+pub mod classic;
+pub mod framework;
+pub mod pacman;
+pub mod registry;
+pub mod weights;
+pub mod xgb;
+
+pub use classic::{LfuDowngrade, LruDowngrade, OsaUpgrade};
+pub use framework::{
+    downgrade_candidates, effective_utilization, pending_outgoing, DowngradePolicy,
+    TieringConfig, TieringEngine, UpgradeChoice, UpgradePolicy,
+};
+pub use pacman::{LfuFDowngrade, LifeDowngrade};
+pub use registry::{downgrade_policy, upgrade_policy, DOWNGRADE_NAMES, UPGRADE_NAMES};
+pub use weights::{DecayKind, ExdDowngrade, ExdUpgrade, LrfuDowngrade, LrfuUpgrade, WeightTracker};
+pub use xgb::{XgbDowngrade, XgbUpgrade, DOWNGRADE_WINDOW, UPGRADE_WINDOW};

@@ -1,0 +1,126 @@
+//! PACMan's eviction policies: LIFE and LFU-F (paper Table 1, [5]).
+//!
+//! Both partition the candidate files into `P_old` (not used within a time
+//! window, default 9 h) and `P_new` (the rest):
+//!
+//! * **LIFE** (minimizes average job completion time): evict the LFU file
+//!   from `P_old`; if `P_old` is empty, evict the *largest* file of `P_new`
+//!   — large files contribute least to the all-or-nothing wave-width of
+//!   small jobs.
+//! * **LFU-F** (maximizes cluster efficiency): evict the LFU file from
+//!   `P_old`; if empty, the LFU file from `P_new`.
+
+use crate::classic::{access_count, last_used};
+use crate::framework::{
+    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig,
+};
+use octo_common::{ByteSize, FileId, SimTime, StorageTier};
+use octo_dfs::TieredDfs;
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+
+fn partition_old_new(
+    dfs: &TieredDfs,
+    tier: StorageTier,
+    now: SimTime,
+    window: octo_common::SimDuration,
+    skip: &BTreeSet<FileId>,
+) -> (Vec<FileId>, Vec<FileId>) {
+    downgrade_candidates(dfs, tier, skip)
+        .into_iter()
+        .partition(|f| now.duration_since(last_used(dfs, *f)) > window)
+}
+
+fn file_size(dfs: &TieredDfs, f: FileId) -> ByteSize {
+    dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size)
+}
+
+/// PACMan LIFE.
+#[derive(Debug, Clone)]
+pub struct LifeDowngrade {
+    cfg: TieringConfig,
+}
+
+impl LifeDowngrade {
+    /// LIFE with the window from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        LifeDowngrade { cfg }
+    }
+}
+
+impl DowngradePolicy for LifeDowngrade {
+    fn name(&self) -> &'static str {
+        "life"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        let (old, new) = partition_old_new(dfs, tier, now, self.cfg.pacman_window, skip);
+        if !old.is_empty() {
+            return old
+                .into_iter()
+                .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f));
+        }
+        new.into_iter()
+            .max_by_key(|f| (file_size(dfs, *f), Reverse(*f)))
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+}
+
+/// PACMan LFU-F.
+#[derive(Debug, Clone)]
+pub struct LfuFDowngrade {
+    cfg: TieringConfig,
+}
+
+impl LfuFDowngrade {
+    /// LFU-F with the window from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        LfuFDowngrade { cfg }
+    }
+}
+
+impl DowngradePolicy for LfuFDowngrade {
+    fn name(&self) -> &'static str {
+        "lfu-f"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        let (old, new) = partition_old_new(dfs, tier, now, self.cfg.pacman_window, skip);
+        let pick_lfu = |set: Vec<FileId>| {
+            set.into_iter()
+                .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f))
+        };
+        if !old.is_empty() {
+            pick_lfu(old)
+        } else {
+            pick_lfu(new)
+        }
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+}

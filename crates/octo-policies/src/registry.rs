@@ -1,0 +1,75 @@
+//! By-name policy construction, used by the experiment drivers.
+
+use crate::classic::{LfuDowngrade, LruDowngrade, OsaUpgrade};
+use crate::framework::{DowngradePolicy, TieringConfig, UpgradePolicy};
+use crate::pacman::{LfuFDowngrade, LifeDowngrade};
+use crate::weights::{ExdDowngrade, ExdUpgrade, LrfuDowngrade, LrfuUpgrade};
+use crate::xgb::{XgbDowngrade, XgbUpgrade};
+use octo_access::LearnerConfig;
+
+/// All downgrade policy names, in the paper's Table 1 order.
+pub const DOWNGRADE_NAMES: [&str; 7] = ["lru", "lfu", "lrfu", "life", "lfu-f", "exd", "xgb"];
+
+/// All upgrade policy names, in the paper's Table 2 order.
+pub const UPGRADE_NAMES: [&str; 4] = ["osa", "lrfu", "exd", "xgb"];
+
+/// Builds a downgrade policy by name. `seed` feeds the XGB policy's
+/// sampling stream; others ignore it.
+pub fn downgrade_policy(
+    name: &str,
+    cfg: &TieringConfig,
+    learner: &LearnerConfig,
+    seed: u64,
+) -> Option<Box<dyn DowngradePolicy>> {
+    Some(match name {
+        "lru" => Box::new(LruDowngrade::new(cfg.clone())),
+        "lfu" => Box::new(LfuDowngrade::new(cfg.clone())),
+        "lrfu" => Box::new(LrfuDowngrade::new(cfg.clone())),
+        "life" => Box::new(LifeDowngrade::new(cfg.clone())),
+        "lfu-f" => Box::new(LfuFDowngrade::new(cfg.clone())),
+        "exd" => Box::new(ExdDowngrade::new(cfg.clone())),
+        "xgb" => Box::new(XgbDowngrade::new(cfg.clone(), learner.clone(), seed)),
+        _ => return None,
+    })
+}
+
+/// Builds an upgrade policy by name.
+pub fn upgrade_policy(
+    name: &str,
+    cfg: &TieringConfig,
+    learner: &LearnerConfig,
+    seed: u64,
+) -> Option<Box<dyn UpgradePolicy>> {
+    Some(match name {
+        "osa" => Box::new(OsaUpgrade),
+        "lrfu" => Box::new(LrfuUpgrade::new(cfg.clone())),
+        "exd" => Box::new(ExdUpgrade::new(cfg.clone())),
+        "xgb" => Box::new(XgbUpgrade::new(cfg.clone(), learner.clone(), seed)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_policy_is_constructible() {
+        let cfg = TieringConfig::default();
+        let learner = LearnerConfig::default();
+        for name in DOWNGRADE_NAMES {
+            let p = downgrade_policy(name, &cfg, &learner, 1).unwrap_or_else(|| {
+                panic!("missing downgrade policy {name}");
+            });
+            assert_eq!(p.name(), name);
+        }
+        for name in UPGRADE_NAMES {
+            let p = upgrade_policy(name, &cfg, &learner, 1).unwrap_or_else(|| {
+                panic!("missing upgrade policy {name}");
+            });
+            assert_eq!(p.name(), name);
+        }
+        assert!(downgrade_policy("bogus", &cfg, &learner, 1).is_none());
+        assert!(upgrade_policy("bogus", &cfg, &learner, 1).is_none());
+    }
+}

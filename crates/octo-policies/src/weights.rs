@@ -1,0 +1,454 @@
+//! Weight-based policies: LRFU (Formula 1) and EXD (Formula 2).
+//!
+//! Both maintain a per-file weight updated at every access and decayed by
+//! elapsed time when compared:
+//!
+//! * LRFU:  `W ← 1 + H·W / (Δt + H)` with half-life `H` (6 h default);
+//!   the decay factor `H / (Δt + H)` is also applied at selection time so
+//!   stale weights do not pin files forever.
+//! * EXD:   `W ← 1 + W·e^(−α·Δt)` (Big SQL's exponential decay), with the
+//!   same decay applied at comparison, following [16].
+
+use crate::framework::{
+    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice,
+    UpgradePolicy,
+};
+use octo_common::{ByteSize, FileId, SimTime, StorageTier};
+use octo_dfs::TieredDfs;
+use std::collections::{BTreeSet, HashMap};
+
+/// How a weight decays with the time since its last update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayKind {
+    /// LRFU: multiply by `H / (Δt + H)`.
+    HalfLife {
+        /// The half-life `H` in milliseconds.
+        h_ms: f64,
+    },
+    /// EXD: multiply by `e^(−α·Δt)`.
+    Exponential {
+        /// Decay constant per millisecond.
+        alpha: f64,
+    },
+}
+
+impl DecayKind {
+    fn factor(&self, dt_ms: f64) -> f64 {
+        match self {
+            DecayKind::HalfLife { h_ms } => h_ms / (dt_ms + h_ms),
+            DecayKind::Exponential { alpha } => (-alpha * dt_ms).exp(),
+        }
+    }
+}
+
+/// Shared recency/frequency weight bookkeeping.
+#[derive(Debug, Clone)]
+pub struct WeightTracker {
+    decay: DecayKind,
+    weights: HashMap<FileId, (f64, SimTime)>,
+}
+
+impl WeightTracker {
+    /// A tracker with the given decay.
+    pub fn new(decay: DecayKind) -> Self {
+        WeightTracker {
+            decay,
+            weights: HashMap::new(),
+        }
+    }
+
+    /// Registers a new file (weight 0 until first accessed, so the first
+    /// access yields weight 1).
+    pub fn on_created(&mut self, file: FileId, now: SimTime) {
+        self.weights.entry(file).or_insert((0.0, now));
+    }
+
+    /// Applies the access update formula.
+    pub fn on_accessed(&mut self, file: FileId, now: SimTime) {
+        let (w, last) = self.weights.get(&file).copied().unwrap_or((0.0, now));
+        let dt = now.duration_since(last).as_millis() as f64;
+        let new_w = 1.0 + w * self.decay.factor(dt);
+        self.weights.insert(file, (new_w, now));
+    }
+
+    /// Forgets a deleted file.
+    pub fn on_deleted(&mut self, file: FileId) {
+        self.weights.remove(&file);
+    }
+
+    /// The weight decayed to `now`.
+    pub fn decayed_weight(&self, file: FileId, now: SimTime) -> f64 {
+        let Some((w, last)) = self.weights.get(&file) else {
+            return 0.0;
+        };
+        let dt = now.duration_since(*last).as_millis() as f64;
+        w * self.decay.factor(dt)
+    }
+}
+
+/// LRFU downgrade: evict the file with the lowest recency+frequency weight.
+#[derive(Debug, Clone)]
+pub struct LrfuDowngrade {
+    cfg: TieringConfig,
+    tracker: WeightTracker,
+}
+
+impl LrfuDowngrade {
+    /// LRFU with Formula 1's half-life from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        let tracker = WeightTracker::new(DecayKind::HalfLife {
+            h_ms: cfg.lrfu_half_life.as_millis() as f64,
+        });
+        LrfuDowngrade { cfg, tracker }
+    }
+}
+
+impl DowngradePolicy for LrfuDowngrade {
+    fn name(&self) -> &'static str {
+        "lrfu"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        downgrade_candidates(dfs, tier, skip)
+            .into_iter()
+            .min_by(|a, b| {
+                self.tracker
+                    .decayed_weight(*a, now)
+                    .total_cmp(&self.tracker.decayed_weight(*b, now))
+                    .then(a.cmp(b))
+            })
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_created(file, now);
+    }
+
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_accessed(file, now);
+    }
+
+    fn on_file_deleted(&mut self, file: FileId, _now: SimTime) {
+        self.tracker.on_deleted(file);
+    }
+}
+
+/// EXD downgrade: evict the file with the lowest exponentially-decayed
+/// weight (Big SQL).
+#[derive(Debug, Clone)]
+pub struct ExdDowngrade {
+    cfg: TieringConfig,
+    tracker: WeightTracker,
+}
+
+impl ExdDowngrade {
+    /// EXD with Formula 2's α from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        let tracker = WeightTracker::new(DecayKind::Exponential {
+            alpha: cfg.exd_alpha,
+        });
+        ExdDowngrade { cfg, tracker }
+    }
+}
+
+impl DowngradePolicy for ExdDowngrade {
+    fn name(&self) -> &'static str {
+        "exd"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        downgrade_candidates(dfs, tier, skip)
+            .into_iter()
+            .min_by(|a, b| {
+                self.tracker
+                    .decayed_weight(*a, now)
+                    .total_cmp(&self.tracker.decayed_weight(*b, now))
+                    .then(a.cmp(b))
+            })
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_created(file, now);
+    }
+
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_accessed(file, now);
+    }
+
+    fn on_file_deleted(&mut self, file: FileId, _now: SimTime) {
+        self.tracker.on_deleted(file);
+    }
+}
+
+/// LRFU upgrade: move the accessed file into memory once its weight exceeds
+/// the threshold (§6.1, empirically 3).
+#[derive(Debug, Clone)]
+pub struct LrfuUpgrade {
+    cfg: TieringConfig,
+    tracker: WeightTracker,
+}
+
+impl LrfuUpgrade {
+    /// LRFU upgrade with Formula 1's half-life from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        let tracker = WeightTracker::new(DecayKind::HalfLife {
+            h_ms: cfg.lrfu_half_life.as_millis() as f64,
+        });
+        LrfuUpgrade { cfg, tracker }
+    }
+}
+
+impl UpgradePolicy for LrfuUpgrade {
+    fn name(&self) -> &'static str {
+        "lrfu"
+    }
+
+    fn start_upgrade(&mut self, dfs: &TieredDfs, accessed: Option<FileId>, now: SimTime) -> bool {
+        accessed.is_some_and(|f| {
+            dfs.is_movable(f)
+                && !dfs.file_fully_on_tier(f, StorageTier::Memory)
+                && self.tracker.decayed_weight(f, now) > self.cfg.lrfu_upgrade_threshold
+        })
+    }
+
+    fn select_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        _now: SimTime,
+        already: &BTreeSet<FileId>,
+    ) -> Option<UpgradeChoice> {
+        let f = accessed?;
+        if already.contains(&f) || !dfs.is_movable(f) {
+            return None;
+        }
+        Some(UpgradeChoice {
+            file: f,
+            to: StorageTier::Memory,
+        })
+    }
+
+    fn stop_upgrade(
+        &mut self,
+        _dfs: &TieredDfs,
+        _now: SimTime,
+        _scheduled: ByteSize,
+        _count: u32,
+    ) -> bool {
+        true
+    }
+
+    fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_created(file, now);
+    }
+
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_accessed(file, now);
+    }
+
+    fn on_file_deleted(&mut self, file: FileId, _now: SimTime) {
+        self.tracker.on_deleted(file);
+    }
+}
+
+/// EXD upgrade (Big SQL): upgrade the accessed file if memory has room, or
+/// if its weight beats the total weight of the files that would have to be
+/// downgraded to make room.
+#[derive(Debug, Clone)]
+pub struct ExdUpgrade {
+    tracker: WeightTracker,
+}
+
+impl ExdUpgrade {
+    /// EXD upgrade with Formula 2's α from the config.
+    pub fn new(cfg: TieringConfig) -> Self {
+        let tracker = WeightTracker::new(DecayKind::Exponential {
+            alpha: cfg.exd_alpha,
+        });
+        ExdUpgrade { tracker }
+    }
+
+    fn worth_evicting_for(&self, dfs: &TieredDfs, file: FileId, now: SimTime) -> bool {
+        let Some(meta) = dfs.file_meta(file) else {
+            return false;
+        };
+        let size = meta.size;
+        let (committed, capacity) = dfs.tier_usage(StorageTier::Memory);
+        let free = capacity.saturating_sub(committed);
+        if free >= size {
+            return true;
+        }
+        // Sum the weights of the cheapest memory residents that would need
+        // to move out to fit this file.
+        let mut residents: Vec<(f64, ByteSize)> = dfs
+            .files_on_tier(StorageTier::Memory)
+            .into_iter()
+            .filter(|f| *f != file && dfs.is_movable(*f))
+            .map(|f| {
+                let sz = dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size);
+                (self.tracker.decayed_weight(f, now), sz)
+            })
+            .collect();
+        residents.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let needed = size.saturating_sub(free);
+        let mut reclaimed = ByteSize::ZERO;
+        let mut evicted_weight = 0.0;
+        for (w, sz) in residents {
+            if reclaimed >= needed {
+                break;
+            }
+            reclaimed += sz;
+            evicted_weight += w;
+        }
+        if reclaimed < needed {
+            return false; // cannot make room at all
+        }
+        self.tracker.decayed_weight(file, now) > evicted_weight
+    }
+}
+
+impl UpgradePolicy for ExdUpgrade {
+    fn name(&self) -> &'static str {
+        "exd"
+    }
+
+    fn start_upgrade(&mut self, dfs: &TieredDfs, accessed: Option<FileId>, now: SimTime) -> bool {
+        accessed.is_some_and(|f| {
+            dfs.is_movable(f)
+                && !dfs.file_fully_on_tier(f, StorageTier::Memory)
+                && self.worth_evicting_for(dfs, f, now)
+        })
+    }
+
+    fn select_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        _now: SimTime,
+        already: &BTreeSet<FileId>,
+    ) -> Option<UpgradeChoice> {
+        let f = accessed?;
+        if already.contains(&f) || !dfs.is_movable(f) {
+            return None;
+        }
+        Some(UpgradeChoice {
+            file: f,
+            to: StorageTier::Memory,
+        })
+    }
+
+    fn stop_upgrade(
+        &mut self,
+        _dfs: &TieredDfs,
+        _now: SimTime,
+        _scheduled: ByteSize,
+        _count: u32,
+    ) -> bool {
+        true
+    }
+
+    fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_created(file, now);
+    }
+
+    fn on_file_accessed(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
+        self.tracker.on_accessed(file, now);
+    }
+
+    fn on_file_deleted(&mut self, file: FileId, _now: SimTime) {
+        self.tracker.on_deleted(file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_common::SimDuration;
+
+    #[test]
+    fn lrfu_weight_follows_formula_1() {
+        let h = SimDuration::from_hours(6);
+        let mut t = WeightTracker::new(DecayKind::HalfLife {
+            h_ms: h.as_millis() as f64,
+        });
+        let f = FileId(0);
+        t.on_created(f, SimTime::ZERO);
+        t.on_accessed(f, SimTime::ZERO);
+        // First access: W = 1 + 0 = 1.
+        assert!((t.decayed_weight(f, SimTime::ZERO) - 1.0).abs() < 1e-12);
+        // Accessed again exactly one half-life later: W = 1 + 1·(H/(H+H)) = 1.5.
+        let later = SimTime::ZERO + h;
+        t.on_accessed(f, later);
+        assert!((t.decayed_weight(f, later) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exd_weight_follows_formula_2() {
+        let alpha = 1e-6;
+        let mut t = WeightTracker::new(DecayKind::Exponential { alpha });
+        let f = FileId(0);
+        t.on_created(f, SimTime::ZERO);
+        t.on_accessed(f, SimTime::ZERO); // W = 1
+        let dt_ms = 1_000_000.0; // e^-1
+        let later = SimTime::from_millis(dt_ms as u64);
+        t.on_accessed(f, later);
+        let expected = 1.0 + (-1.0f64).exp();
+        assert!((t.decayed_weight(f, later) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequent_recent_files_outweigh_stale_ones() {
+        let mut t = WeightTracker::new(DecayKind::HalfLife { h_ms: 3.6e6 });
+        let hot = FileId(0);
+        let stale = FileId(1);
+        t.on_created(hot, SimTime::ZERO);
+        t.on_created(stale, SimTime::ZERO);
+        // Stale: 3 accesses long ago.
+        for s in 0..3 {
+            t.on_accessed(stale, SimTime::from_secs(s));
+        }
+        // Hot: 3 recent accesses.
+        for s in 0..3 {
+            t.on_accessed(hot, SimTime::from_secs(70_000 + s));
+        }
+        let now = SimTime::from_secs(70_010);
+        assert!(t.decayed_weight(hot, now) > t.decayed_weight(stale, now));
+    }
+
+    #[test]
+    fn deletion_forgets_weight() {
+        let mut t = WeightTracker::new(DecayKind::Exponential { alpha: 1e-8 });
+        let f = FileId(5);
+        t.on_created(f, SimTime::ZERO);
+        t.on_accessed(f, SimTime::ZERO);
+        t.on_deleted(f);
+        assert_eq!(t.decayed_weight(f, SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The XGBoost-based policies (paper §5.2 / §6.1, Tables 1 and 2).
+//!
+//! Each policy owns an [`AccessPredictor`] trained incrementally from the
+//! access stream:
+//!
+//! * **Downgrade** (class window ≈ 6 h): among the `k = 200` least recently
+//!   used files on the tier, evict the one with the *lowest* probability of
+//!   access in the distant future. Scoring only LRU files avoids cache
+//!   pollution by never-considered files; until the model activates the
+//!   policy behaves exactly like LRU.
+//! * **Upgrade** (class window ≈ 30 min): among the `k = 200` most recently
+//!   used files not fully in memory, move up every file whose access
+//!   probability exceeds the discrimination threshold (0.5), until the
+//!   scheduled batch exceeds 1 GB (§6.4). Until the model activates it
+//!   falls back to on-access (OSA) behaviour.
+
+use crate::classic::last_used;
+use crate::framework::{
+    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice,
+    UpgradePolicy,
+};
+use octo_access::{AccessPredictor, LearnerConfig};
+use octo_common::{ByteSize, DetRng, FileId, SimDuration, SimTime, StorageTier};
+use octo_dfs::TieredDfs;
+use std::collections::BTreeSet;
+
+/// Windows for the two models (paper §4.4).
+pub const DOWNGRADE_WINDOW: SimDuration = SimDuration::from_hours(6);
+/// Forward-looking window of the upgrade model.
+pub const UPGRADE_WINDOW: SimDuration = SimDuration::from_mins(30);
+
+/// Samples up to `n` committed files deterministically and feeds them to the
+/// predictor as (mostly negative) training points.
+fn sample_files(
+    predictor: &mut AccessPredictor,
+    dfs: &TieredDfs,
+    now: SimTime,
+    n: usize,
+    rng: &mut DetRng,
+) {
+    let files: Vec<FileId> = dfs
+        .iter_files()
+        .filter(|m| m.state == octo_dfs::FileState::Complete)
+        .map(|m| m.id)
+        .collect();
+    if files.is_empty() {
+        return;
+    }
+    for _ in 0..n.min(files.len()) {
+        let f = files[rng.index(files.len())];
+        if let Some(stats) = dfs.file_stats(f) {
+            predictor.observe_file(stats, now);
+        }
+    }
+}
+
+/// XGB downgrade policy.
+pub struct XgbDowngrade {
+    cfg: TieringConfig,
+    predictor: AccessPredictor,
+    rng: DetRng,
+}
+
+impl XgbDowngrade {
+    /// Builds the policy with its 6-hour-window predictor.
+    pub fn new(cfg: TieringConfig, learner: LearnerConfig, seed: u64) -> Self {
+        XgbDowngrade {
+            cfg,
+            predictor: AccessPredictor::new(DOWNGRADE_WINDOW, learner),
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying predictor (model evaluation experiments).
+    pub fn predictor(&self) -> &AccessPredictor {
+        &self.predictor
+    }
+
+    /// Mutable predictor access.
+    pub fn predictor_mut(&mut self) -> &mut AccessPredictor {
+        &mut self.predictor
+    }
+}
+
+impl DowngradePolicy for XgbDowngrade {
+    fn name(&self) -> &'static str {
+        "xgb"
+    }
+
+    fn start_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) > self.cfg.start_threshold
+    }
+
+    fn select_file(
+        &mut self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        skip: &BTreeSet<FileId>,
+    ) -> Option<FileId> {
+        let mut candidates = downgrade_candidates(dfs, tier, skip);
+        // LRU order, keep the first k.
+        candidates.sort_by_key(|f| (last_used(dfs, *f), *f));
+        candidates.truncate(self.cfg.xgb_candidates);
+        if candidates.is_empty() {
+            return None;
+        }
+        // Lowest probability of access within the (large) window; falls
+        // back to plain LRU while the model warms up.
+        candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                let pa = dfs
+                    .file_stats(*a)
+                    .and_then(|s| self.predictor.predict(s, now))
+                    .unwrap_or(0.0);
+                let pb = dfs
+                    .file_stats(*b)
+                    .and_then(|s| self.predictor.predict(s, now))
+                    .unwrap_or(0.0);
+                pa.total_cmp(&pb)
+                    .then_with(|| last_used(dfs, *a).cmp(&last_used(dfs, *b)))
+                    .then(a.cmp(b))
+            })
+    }
+
+    fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
+        effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn on_file_accessed(&mut self, dfs: &TieredDfs, file: FileId, now: SimTime) {
+        if let Some(stats) = dfs.file_stats(file) {
+            self.predictor.on_file_access(stats, now);
+        }
+    }
+
+    fn on_tick(&mut self, dfs: &TieredDfs, now: SimTime) {
+        sample_files(
+            &mut self.predictor,
+            dfs,
+            now,
+            self.cfg.sample_files_per_tick,
+            &mut self.rng,
+        );
+    }
+}
+
+/// XGB upgrade policy.
+pub struct XgbUpgrade {
+    cfg: TieringConfig,
+    predictor: AccessPredictor,
+    rng: DetRng,
+}
+
+impl XgbUpgrade {
+    /// Builds the policy with its 30-minute-window predictor.
+    pub fn new(cfg: TieringConfig, learner: LearnerConfig, seed: u64) -> Self {
+        XgbUpgrade {
+            cfg,
+            predictor: AccessPredictor::new(UPGRADE_WINDOW, learner),
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying predictor (model evaluation experiments).
+    pub fn predictor(&self) -> &AccessPredictor {
+        &self.predictor
+    }
+
+    /// Mutable predictor access.
+    pub fn predictor_mut(&mut self) -> &mut AccessPredictor {
+        &mut self.predictor
+    }
+
+    /// The `k` most recently used upgrade candidates (movable, not fully in
+    /// memory), most recent first.
+    fn mru_candidates(&self, dfs: &TieredDfs, already: &BTreeSet<FileId>) -> Vec<FileId> {
+        let mut candidates: Vec<FileId> = dfs
+            .iter_files()
+            .filter(|m| {
+                m.state == octo_dfs::FileState::Complete
+                    && !already.contains(&m.id)
+                    && dfs.is_movable(m.id)
+                    && !dfs.file_fully_on_tier(m.id, StorageTier::Memory)
+            })
+            .map(|m| m.id)
+            .collect();
+        candidates.sort_by_key(|f| (std::cmp::Reverse(last_used(dfs, *f)), *f));
+        candidates.truncate(self.cfg.xgb_candidates);
+        candidates
+    }
+}
+
+impl UpgradePolicy for XgbUpgrade {
+    fn name(&self) -> &'static str {
+        "xgb"
+    }
+
+    fn start_upgrade(&mut self, dfs: &TieredDfs, accessed: Option<FileId>, _now: SimTime) -> bool {
+        if self.predictor.learner().is_active() {
+            true // the inner loop scans candidates either way
+        } else {
+            // Warm-up fallback: behave like OSA.
+            accessed.is_some_and(|f| {
+                dfs.is_movable(f) && !dfs.file_fully_on_tier(f, StorageTier::Memory)
+            })
+        }
+    }
+
+    fn select_upgrade(
+        &mut self,
+        dfs: &TieredDfs,
+        accessed: Option<FileId>,
+        now: SimTime,
+        already: &BTreeSet<FileId>,
+    ) -> Option<UpgradeChoice> {
+        if !self.predictor.learner().is_active() {
+            // OSA fallback during warm-up.
+            let f = accessed?;
+            if already.contains(&f)
+                || !dfs.is_movable(f)
+                || dfs.file_fully_on_tier(f, StorageTier::Memory)
+            {
+                return None;
+            }
+            return Some(UpgradeChoice {
+                file: f,
+                to: StorageTier::Memory,
+            });
+        }
+        // Highest-probability candidate above the discrimination threshold.
+        let mut best: Option<(FileId, f64)> = None;
+        for f in self.mru_candidates(dfs, already) {
+            let Some(p) = dfs.file_stats(f).and_then(|s| self.predictor.predict(s, now)) else {
+                continue;
+            };
+            if p <= self.cfg.xgb_threshold {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, bp)| p > *bp) {
+                best = Some((f, p));
+            }
+        }
+        best.map(|(file, _)| UpgradeChoice {
+            file,
+            to: StorageTier::Memory,
+        })
+    }
+
+    fn stop_upgrade(
+        &mut self,
+        _dfs: &TieredDfs,
+        _now: SimTime,
+        scheduled: ByteSize,
+        count: u32,
+    ) -> bool {
+        if !self.predictor.learner().is_active() {
+            return true; // OSA fallback: one file per access
+        }
+        scheduled >= self.cfg.xgb_upgrade_limit || count >= 64
+    }
+
+    fn on_file_accessed(&mut self, dfs: &TieredDfs, file: FileId, now: SimTime) {
+        if let Some(stats) = dfs.file_stats(file) {
+            self.predictor.on_file_access(stats, now);
+        }
+    }
+
+    fn on_tick(&mut self, dfs: &TieredDfs, now: SimTime) {
+        sample_files(
+            &mut self.predictor,
+            dfs,
+            now,
+            self.cfg.sample_files_per_tick,
+            &mut self.rng,
+        );
+    }
+}

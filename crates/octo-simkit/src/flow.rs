@@ -1,0 +1,519 @@
+//! Max-min fair-share bandwidth modelling.
+//!
+//! Every storage device (a tier on a node) and every NIC is a *resource* with
+//! a fixed capacity in bytes/second. A data transfer is a *flow* across a
+//! path of resources (e.g. `[source HDD, source NIC, dest NIC, dest SSD]`).
+//!
+//! Rates are assigned with the progressive-filling algorithm, which yields
+//! the max-min fair allocation: repeatedly saturate the most contended
+//! resource, freeze the flows it bottlenecks at their fair share, subtract
+//! their consumption everywhere else, and continue. Unlike the naive
+//! `min(capacity / flow_count)` approximation this lets un-bottlenecked flows
+//! pick up the slack, which matters when fast memory devices share paths with
+//! slow disks.
+//!
+//! The model is *lazy*: flow progress is only materialized when the clock
+//! moves (`advance`), and every mutation bumps a version counter so the
+//! driver can discard completion events that were scheduled before the world
+//! changed.
+
+use octo_common::{ByteSize, FlowId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Index of a capacity resource inside a [`FlowModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub usize);
+
+/// A transfer still below this many remaining bytes counts as finished
+/// (absorbs floating-point residue; real transfers are kilobytes and up).
+const COMPLETION_EPS_BYTES: f64 = 1.0;
+
+#[derive(Debug, Clone)]
+struct Resource {
+    capacity_bps: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    path: Vec<ResourceId>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// A snapshot of one flow's progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowState {
+    /// Bytes left to transfer.
+    pub remaining_bytes: f64,
+    /// Current max-min fair rate in bytes/second.
+    pub rate_bps: f64,
+}
+
+/// The fair-share bandwidth model. See the module docs for the algorithm.
+#[derive(Debug, Default)]
+pub struct FlowModel {
+    resources: Vec<Resource>,
+    // BTreeMap keeps iteration (and therefore completion ordering and rate
+    // assignment) deterministic across runs.
+    flows: BTreeMap<FlowId, Flow>,
+    last_advance: SimTime,
+    version: u64,
+}
+
+impl FlowModel {
+    /// An empty model with the progress clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with the given capacity in bytes/second.
+    ///
+    /// Panics on non-positive or non-finite capacity: a zero-capacity
+    /// resource would stall every flow routed through it forever.
+    pub fn add_resource(&mut self, capacity_bps: f64) -> ResourceId {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "resource capacity must be positive, got {capacity_bps}"
+        );
+        let id = ResourceId(self.resources.len());
+        self.resources.push(Resource { capacity_bps });
+        id
+    }
+
+    /// The configured capacity of a resource in bytes/second.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.0].capacity_bps
+    }
+
+    /// Monotone counter bumped on every mutation; completion events carry
+    /// the version they were computed under and are dropped when stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of flows currently in flight.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of in-flight flows whose path crosses `r` (load-balancing
+    /// input for the placement policy).
+    pub fn load(&self, r: ResourceId) -> usize {
+        self.flows.values().filter(|f| f.path.contains(&r)).count()
+    }
+
+    /// Fraction of `r`'s capacity currently allocated to flows, in `[0, 1]`.
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        let used: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.path.contains(&r))
+            .map(|f| f.rate)
+            .sum();
+        (used / self.resources[r.0].capacity_bps).clamp(0.0, 1.0)
+    }
+
+    /// Starts a transfer of `bytes` across `path` at time `now`.
+    ///
+    /// The caller allocates the [`FlowId`]; paths must be non-empty and refer
+    /// to registered resources. A path is a *set* of resources — duplicates
+    /// are collapsed so a transfer never gets charged twice against the same
+    /// device. Duplicate flow ids panic.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        bytes: ByteSize,
+        mut path: Vec<ResourceId>,
+    ) {
+        path.sort_unstable();
+        path.dedup();
+        assert!(!path.is_empty(), "flow {id} has an empty resource path");
+        assert!(
+            path.iter().all(|r| r.0 < self.resources.len()),
+            "flow {id} references an unregistered resource"
+        );
+        self.advance(now);
+        let prev = self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: bytes.as_bytes() as f64,
+                rate: 0.0,
+            },
+        );
+        assert!(prev.is_none(), "flow id {id} reused while still active");
+        self.recompute_rates();
+        self.version += 1;
+    }
+
+    /// Cancels a flow (e.g. the file being transferred was deleted). Returns
+    /// the bytes that had not yet been moved, or `None` for unknown ids.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<ByteSize> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.recompute_rates();
+        self.version += 1;
+        Some(ByteSize::from_bytes(flow.remaining.max(0.0).round() as u64))
+    }
+
+    /// A snapshot of one flow, or `None` once it completed or was cancelled.
+    pub fn flow_state(&self, id: FlowId) -> Option<FlowState> {
+        self.flows.get(&id).map(|f| FlowState {
+            remaining_bytes: f.remaining,
+            rate_bps: f.rate,
+        })
+    }
+
+    /// When the earliest in-flight flow will finish, paired with the current
+    /// version. `None` when nothing is in flight.
+    ///
+    /// The returned instant is rounded *up* to the next millisecond so that
+    /// by the time the driver processes the event the flow really is done.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, u64)> {
+        let mut earliest: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate <= 0.0 {
+                continue; // cannot finish; recompute will assign a rate later
+            }
+            let secs = (f.remaining.max(0.0)) / f.rate;
+            earliest = Some(match earliest {
+                Some(e) => e.min(secs),
+                None => secs,
+            });
+        }
+        let secs = earliest?;
+        let ms = (secs * 1000.0).ceil().max(0.0) as u64;
+        Some((now + SimDuration::from_millis(ms), self.version))
+    }
+
+    /// Advances progress to `now`, removes every flow that has finished, and
+    /// returns their ids (in id order). Bumps the version when anything
+    /// completed.
+    pub fn collect_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= COMPLETION_EPS_BYTES)
+            .map(|(id, _)| *id)
+            .collect();
+        if !done.is_empty() {
+            for id in &done {
+                self.flows.remove(id);
+            }
+            self.recompute_rates();
+            self.version += 1;
+        }
+        done
+    }
+
+    /// Materializes progress between `last_advance` and `now`.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(
+            now >= self.last_advance,
+            "flow model asked to move backwards: {now} < {}",
+            self.last_advance
+        );
+        let dt = now.duration_since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+    }
+
+    /// Progressive filling: the max-min fair allocation.
+    fn recompute_rates(&mut self) {
+        let n_res = self.resources.len();
+        let mut remaining_cap: Vec<f64> = self.resources.iter().map(|r| r.capacity_bps).collect();
+        let mut count = vec![0usize; n_res];
+
+        // Flow ids in deterministic order with an "assigned" mark.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut assigned: BTreeMap<FlowId, bool> = ids.iter().map(|id| (*id, false)).collect();
+        for f in self.flows.values() {
+            for r in &f.path {
+                count[r.0] += 1;
+            }
+        }
+
+        let mut unassigned = ids.len();
+        while unassigned > 0 {
+            // Find the bottleneck: the resource whose fair share is smallest.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (ri, &c) in count.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let share = remaining_cap[ri].max(0.0) / c as f64;
+                match bottleneck {
+                    Some((_, best)) if share >= best => {}
+                    _ => bottleneck = Some((ri, share)),
+                }
+            }
+            let Some((b, share)) = bottleneck else {
+                break; // no unassigned flow touches any resource (unreachable)
+            };
+            // Freeze every unassigned flow through the bottleneck at `share`
+            // and charge its consumption to the rest of its path.
+            for id in &ids {
+                if assigned[id] {
+                    continue;
+                }
+                let f = &self.flows[id];
+                if !f.path.contains(&ResourceId(b)) {
+                    continue;
+                }
+                for r in f.path.clone() {
+                    remaining_cap[r.0] -= share;
+                    count[r.0] -= 1;
+                }
+                self.flows.get_mut(id).expect("flow exists").rate = share;
+                *assigned.get_mut(id).expect("id tracked") = true;
+                unassigned -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    fn mbps(x: f64) -> f64 {
+        x * MB
+    }
+
+    /// Runs a driver loop to completion; returns (flow, completion time).
+    fn run_to_completion(model: &mut FlowModel, start: SimTime) -> Vec<(FlowId, SimTime)> {
+        let mut done = Vec::new();
+        let mut now = start;
+        while model.active_flows() > 0 {
+            let (t, _v) = model
+                .next_completion(now)
+                .expect("active flows must have a completion");
+            now = t;
+            for id in model.collect_completed(now) {
+                done.push((id, now));
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_flow_runs_at_capacity() {
+        let mut m = FlowModel::new();
+        let disk = m.add_resource(mbps(100.0));
+        m.start_flow(
+            SimTime::ZERO,
+            FlowId(0),
+            ByteSize::mb(200),
+            vec![disk],
+        );
+        assert_eq!(m.flow_state(FlowId(0)).unwrap().rate_bps, mbps(100.0));
+        let done = run_to_completion(&mut m, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        // 200MB at 100MB/s = 2s.
+        assert_eq!(done[0].1, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut m = FlowModel::new();
+        let disk = m.add_resource(mbps(100.0));
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(100), vec![disk]);
+        m.start_flow(SimTime::ZERO, FlowId(1), ByteSize::mb(300), vec![disk]);
+        assert_eq!(m.flow_state(FlowId(0)).unwrap().rate_bps, mbps(50.0));
+        let done = run_to_completion(&mut m, SimTime::ZERO);
+        // Flow 0: 100MB at 50MB/s -> 2s. Then flow 1 has 200MB left at full
+        // 100MB/s -> finishes at 2s + 2s = 4s.
+        assert_eq!(done[0], (FlowId(0), SimTime::from_secs(2)));
+        assert_eq!(done[1], (FlowId(1), SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn path_is_bottlenecked_by_slowest_resource() {
+        let mut m = FlowModel::new();
+        let fast = m.add_resource(mbps(100.0));
+        let slow = m.add_resource(mbps(50.0));
+        m.start_flow(
+            SimTime::ZERO,
+            FlowId(0),
+            ByteSize::mb(100),
+            vec![fast, slow],
+        );
+        assert_eq!(m.flow_state(FlowId(0)).unwrap().rate_bps, mbps(50.0));
+    }
+
+    #[test]
+    fn max_min_redistributes_slack() {
+        // f0 uses only A; f1 uses A and B. B (30MB/s) bottlenecks f1, so
+        // max-min gives f0 the leftover 70MB/s of A — the naive equal split
+        // would wrongly cap f0 at 50.
+        let mut m = FlowModel::new();
+        let a = m.add_resource(mbps(100.0));
+        let b = m.add_resource(mbps(30.0));
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(700), vec![a]);
+        m.start_flow(SimTime::ZERO, FlowId(1), ByteSize::mb(300), vec![a, b]);
+        let f0 = m.flow_state(FlowId(0)).unwrap().rate_bps;
+        let f1 = m.flow_state(FlowId(1)).unwrap().rate_bps;
+        assert!((f1 - mbps(30.0)).abs() < 1.0, "f1 rate {f1}");
+        assert!((f0 - mbps(70.0)).abs() < 1.0, "f0 rate {f0}");
+    }
+
+    #[test]
+    fn cancel_returns_unmoved_bytes() {
+        let mut m = FlowModel::new();
+        let disk = m.add_resource(mbps(100.0));
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(100), vec![disk]);
+        // After 0.5s, 50MB have moved.
+        let left = m.cancel_flow(SimTime::from_millis(500), FlowId(0)).unwrap();
+        assert_eq!(left, ByteSize::mb(50));
+        assert_eq!(m.active_flows(), 0);
+        assert!(m.cancel_flow(SimTime::from_secs(1), FlowId(0)).is_none());
+    }
+
+    #[test]
+    fn version_bumps_on_mutations_only() {
+        let mut m = FlowModel::new();
+        let disk = m.add_resource(mbps(100.0));
+        let v0 = m.version();
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(10), vec![disk]);
+        let v1 = m.version();
+        assert!(v1 > v0);
+        // Querying does not bump.
+        let _ = m.next_completion(SimTime::ZERO);
+        let _ = m.flow_state(FlowId(0));
+        assert_eq!(m.version(), v1);
+        // Collecting with nothing finished does not bump.
+        let none = m.collect_completed(SimTime::from_millis(1));
+        assert!(none.is_empty());
+        assert_eq!(m.version(), v1);
+    }
+
+    #[test]
+    fn utilization_and_load() {
+        let mut m = FlowModel::new();
+        let a = m.add_resource(mbps(100.0));
+        let b = m.add_resource(mbps(100.0));
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(10), vec![a]);
+        m.start_flow(SimTime::ZERO, FlowId(1), ByteSize::mb(10), vec![a]);
+        assert_eq!(m.load(a), 2);
+        assert_eq!(m.load(b), 0);
+        assert!((m.utilization(a) - 1.0).abs() < 1e-9);
+        assert_eq!(m.utilization(b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty resource path")]
+    fn empty_path_panics() {
+        let mut m = FlowModel::new();
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let mut m = FlowModel::new();
+        m.add_resource(0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Rates never oversubscribe any resource, every flow gets a positive
+        /// rate, and every flow is bottlenecked by some saturated resource
+        /// (work conservation of the max-min allocation).
+        #[test]
+        fn prop_maxmin_invariants(
+            caps in proptest::collection::vec(1.0f64..500.0, 1..6),
+            paths in proptest::collection::vec(
+                proptest::collection::vec(0usize..6, 1..4), 1..12),
+        ) {
+            let mut m = FlowModel::new();
+            let rids: Vec<ResourceId> = caps.iter().map(|c| m.add_resource(mbps(*c))).collect();
+            let mut used = false;
+            for (i, p) in paths.iter().enumerate() {
+                let mut path: Vec<ResourceId> = p.iter()
+                    .map(|ri| rids[ri % rids.len()])
+                    .collect();
+                path.dedup();
+                m.start_flow(SimTime::ZERO, FlowId(i as u64), ByteSize::mb(64), path);
+                used = true;
+            }
+            prop_assume!(used);
+
+            // (1) capacity conservation
+            for (ri, r) in rids.iter().enumerate() {
+                let sum: f64 = (0..paths.len())
+                    .filter_map(|i| m.flow_state(FlowId(i as u64)))
+                    .zip(paths.iter())
+                    .filter(|(_, p)| p.iter().any(|x| rids[x % rids.len()] == *r))
+                    .map(|(s, _)| s.rate_bps)
+                    .sum();
+                prop_assert!(sum <= mbps(caps[ri]) * (1.0 + 1e-9),
+                    "resource {ri} oversubscribed: {sum} > {}", mbps(caps[ri]));
+            }
+
+            // (2) no starvation + (3) each flow hits a saturated resource
+            for i in 0..paths.len() {
+                let st = m.flow_state(FlowId(i as u64)).unwrap();
+                prop_assert!(st.rate_bps > 0.0, "flow {i} starved");
+                let saturated = paths[i].iter().any(|x| {
+                    let r = rids[x % rids.len()];
+                    m.utilization(r) > 1.0 - 1e-6
+                });
+                prop_assert!(saturated, "flow {i} not bottlenecked anywhere");
+            }
+        }
+
+        /// Driving arbitrary flow mixes to completion conserves bytes:
+        /// time-integrated progress equals each flow's size (all complete).
+        #[test]
+        fn prop_all_flows_complete(
+            sizes in proptest::collection::vec(1u64..512, 1..10),
+            staggers in proptest::collection::vec(0u64..5_000, 1..10),
+        ) {
+            let mut m = FlowModel::new();
+            let disk = m.add_resource(mbps(100.0));
+            let nic = m.add_resource(mbps(112.0));
+            let n = sizes.len().min(staggers.len());
+            let mut now = SimTime::ZERO;
+            let mut started = 0usize;
+            let mut completed = 0usize;
+            // Interleave starts and completions deterministically.
+            let mut starts: Vec<(SimTime, u64, u64)> = (0..n)
+                .map(|i| (SimTime::from_millis(staggers[i]), i as u64, sizes[i]))
+                .collect();
+            starts.sort();
+            let mut next_start = 0usize;
+            loop {
+                let next_completion = m.next_completion(now);
+                let next_event = match (next_start < starts.len(), next_completion) {
+                    (true, Some((tc, _))) => starts[next_start].0.min(tc),
+                    (true, None) => starts[next_start].0,
+                    (false, Some((tc, _))) => tc,
+                    (false, None) => break,
+                };
+                now = next_event;
+                completed += m.collect_completed(now).len();
+                while next_start < starts.len() && starts[next_start].0 <= now {
+                    let (_, id, sz) = starts[next_start];
+                    let path = if id % 2 == 0 { vec![disk] } else { vec![disk, nic] };
+                    m.start_flow(now, FlowId(id), ByteSize::mb(sz), path);
+                    started += 1;
+                    next_start += 1;
+                }
+            }
+            prop_assert_eq!(started, n);
+            prop_assert_eq!(completed, n);
+            prop_assert_eq!(m.active_flows(), 0);
+        }
+    }
+}

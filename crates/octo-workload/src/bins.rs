@@ -1,0 +1,131 @@
+//! Job-size bins (paper Table 3).
+
+use octo_common::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// The six job-data-size bins the paper groups its results by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SizeBin {
+    /// 0–128 MB
+    A,
+    /// 128–512 MB
+    B,
+    /// 0.5–1 GB
+    C,
+    /// 1–2 GB
+    D,
+    /// 2–5 GB
+    E,
+    /// 5–10 GB
+    F,
+}
+
+impl SizeBin {
+    /// All bins in order.
+    pub const ALL: [SizeBin; 6] = [
+        SizeBin::A,
+        SizeBin::B,
+        SizeBin::C,
+        SizeBin::D,
+        SizeBin::E,
+        SizeBin::F,
+    ];
+
+    /// Inclusive-exclusive byte range of the bin `[lo, hi)`.
+    pub fn range(self) -> (ByteSize, ByteSize) {
+        match self {
+            SizeBin::A => (ByteSize::ZERO, ByteSize::mb(128)),
+            SizeBin::B => (ByteSize::mb(128), ByteSize::mb(512)),
+            SizeBin::C => (ByteSize::mb(512), ByteSize::gb(1)),
+            SizeBin::D => (ByteSize::gb(1), ByteSize::gb(2)),
+            SizeBin::E => (ByteSize::gb(2), ByteSize::gb(5)),
+            SizeBin::F => (ByteSize::gb(5), ByteSize::gb(10)),
+        }
+    }
+
+    /// The bin a job of `size` falls in (sizes above 10 GB clamp to F).
+    pub fn of(size: ByteSize) -> SizeBin {
+        for bin in SizeBin::ALL {
+            let (lo, hi) = bin.range();
+            if size >= lo && size < hi {
+                return bin;
+            }
+        }
+        SizeBin::F
+    }
+
+    /// Dense index 0..6.
+    pub fn index(self) -> usize {
+        match self {
+            SizeBin::A => 0,
+            SizeBin::B => 1,
+            SizeBin::C => 2,
+            SizeBin::D => 3,
+            SizeBin::E => 4,
+            SizeBin::F => 5,
+        }
+    }
+
+    /// One-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeBin::A => "A",
+            SizeBin::B => "B",
+            SizeBin::C => "C",
+            SizeBin::D => "D",
+            SizeBin::E => "E",
+            SizeBin::F => "F",
+        }
+    }
+
+    /// The paper's data-size column for Table 3.
+    pub fn description(self) -> &'static str {
+        match self {
+            SizeBin::A => "0-128MB",
+            SizeBin::B => "128-512MB",
+            SizeBin::C => "0.5-1GB",
+            SizeBin::D => "1-2GB",
+            SizeBin::E => "2-5GB",
+            SizeBin::F => "5-10GB",
+        }
+    }
+}
+
+impl std::fmt::Display for SizeBin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_boundaries() {
+        assert_eq!(SizeBin::of(ByteSize::mb(1)), SizeBin::A);
+        assert_eq!(SizeBin::of(ByteSize::mb(128)), SizeBin::B);
+        assert_eq!(SizeBin::of(ByteSize::mb(511)), SizeBin::B);
+        assert_eq!(SizeBin::of(ByteSize::mb(512)), SizeBin::C);
+        assert_eq!(SizeBin::of(ByteSize::gb(1)), SizeBin::D);
+        assert_eq!(SizeBin::of(ByteSize::gb(3)), SizeBin::E);
+        assert_eq!(SizeBin::of(ByteSize::gb(7)), SizeBin::F);
+        assert_eq!(SizeBin::of(ByteSize::gb(50)), SizeBin::F, "clamps to F");
+    }
+
+    #[test]
+    fn ranges_tile_without_gaps() {
+        for w in SizeBin::ALL.windows(2) {
+            assert_eq!(w[0].range().1, w[1].range().0);
+        }
+    }
+
+    #[test]
+    fn index_and_label_align() {
+        for (i, b) in SizeBin::ALL.into_iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+        assert_eq!(SizeBin::C.label(), "C");
+        assert_eq!(SizeBin::F.description(), "5-10GB");
+    }
+}

@@ -1,0 +1,16 @@
+//! SWIM-style statistical workload synthesis (paper §7.1).
+//!
+//! The paper evaluates on workloads replayed from Facebook and CMU
+//! OpenCloud production traces with SWIM. Those traces are not freely
+//! available, so [`generator`] regenerates their *published statistics* —
+//! Table 3's job-size mix, the skewed file popularity and re-access
+//! structure of Figure 5, and the cold-file fraction — as a deterministic,
+//! seedable trace that the cluster simulator replays.
+
+pub mod bins;
+pub mod generator;
+pub mod trace;
+
+pub use bins::SizeBin;
+pub use generator::{generate, WorkloadConfig};
+pub use trace::{FileSpec, JobSpec, Trace, TraceKind};

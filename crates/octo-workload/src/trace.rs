@@ -1,0 +1,110 @@
+//! Trace data model: the replayable artifact the generator produces and the
+//! cluster simulator consumes.
+
+use crate::bins::SizeBin;
+use octo_common::{ByteSize, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which production trace a workload is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The Facebook 600-node Hadoop trace (bursty temporal locality).
+    Facebook,
+    /// The CMU OpenCloud trace (longer, semi-periodic re-access gaps).
+    Cmu,
+}
+
+impl TraceKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Facebook => "FB",
+            TraceKind::Cmu => "CMU",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An input dataset ingested into the DFS before jobs read it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// DFS path.
+    pub path: String,
+    /// Logical size.
+    pub size: ByteSize,
+    /// Ingestion time (strictly before the first job that reads it).
+    pub created: SimTime,
+    /// The size bin jobs reading this file fall into.
+    pub bin: SizeBin,
+}
+
+/// One job of the workload: reads a whole input file, computes, writes an
+/// output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submission time.
+    pub submit: SimTime,
+    /// Index into [`Trace::files`] of the input dataset.
+    pub input: usize,
+    /// Bytes the job writes when it finishes.
+    pub output_size: ByteSize,
+    /// Durable outputs stay in the DFS (and are typically never re-read —
+    /// the paper's "created but not accessed" population); temporary
+    /// outputs are deleted shortly after the job completes.
+    pub output_durable: bool,
+    /// The job's size bin (derived from its input size).
+    pub bin: SizeBin,
+}
+
+/// A complete synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Source trace family.
+    pub kind: TraceKind,
+    /// Seed it was generated from (same seed ⇒ identical trace).
+    pub seed: u64,
+    /// Input datasets, referenced by [`JobSpec::input`].
+    pub files: Vec<FileSpec>,
+    /// Jobs sorted by submission time.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Trace {
+    /// Total bytes of distinct input datasets.
+    pub fn total_input_bytes(&self) -> ByteSize {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Total bytes jobs read (inputs counted once per access).
+    pub fn total_read_bytes(&self) -> ByteSize {
+        self.jobs.iter().map(|j| self.files[j.input].size).sum()
+    }
+
+    /// Number of jobs per bin.
+    pub fn jobs_per_bin(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        for j in &self.jobs {
+            counts[j.bin.index()] += 1;
+        }
+        counts
+    }
+
+    /// Access count of each input file.
+    pub fn access_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.files.len()];
+        for j in &self.jobs {
+            counts[j.input] += 1;
+        }
+        counts
+    }
+
+    /// End of the submission window.
+    pub fn last_submit(&self) -> SimTime {
+        self.jobs.last().map(|j| j.submit).unwrap_or(SimTime::ZERO)
+    }
+}

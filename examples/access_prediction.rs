@@ -1,0 +1,65 @@
+//! Train the incremental access model on a synthetic stream and inspect its
+//! predictions and feature importances.
+//!
+//! Run with: `cargo run --release --example access_prediction`
+
+use octopuspp::access::{AccessPredictor, FeatureConfig, LearnerConfig};
+use octopuspp::common::{ByteSize, FileId, SimDuration, SimTime};
+use octopuspp::dfs::StatsRegistry;
+
+fn main() {
+    let mut registry = StatsRegistry::new(12);
+    // 30-minute class window, like the paper's upgrade model.
+    let mut predictor = AccessPredictor::new(SimDuration::from_mins(30), LearnerConfig::default());
+
+    // Hot files re-accessed every ~10 minutes; cold files touched once.
+    let n = 60u64;
+    for f in 0..n {
+        registry.on_create(FileId(f), ByteSize::mb(64 + f * 3), SimTime::ZERO);
+    }
+    for minute in 1..360u64 {
+        let now = SimTime::from_millis(minute * 60_000);
+        for f in 0..n {
+            let hot = f % 2 == 0;
+            let due = if hot { minute % 10 == f % 10 } else { minute == f };
+            if due {
+                registry.on_access(FileId(f), now);
+                predictor.on_file_access(registry.get(FileId(f)).unwrap(), now);
+            }
+        }
+        if minute % 10 == 0 {
+            for f in 0..n {
+                predictor.observe_file(registry.get(FileId(f)).unwrap(), now);
+            }
+        }
+    }
+
+    let now = SimTime::from_millis(360 * 60_000);
+    println!("model active: {}", predictor.learner().is_active());
+    println!(
+        "prequential accuracy: {:.1}%",
+        predictor.learner().prequential_accuracy().unwrap_or(0.0) * 100.0
+    );
+    for f in [0u64, 1, 2, 3] {
+        let p = predictor
+            .predict(registry.get(FileId(f)).unwrap(), now)
+            .unwrap_or(f64::NAN);
+        println!(
+            "P(file-{f} accessed in next 30min) = {p:.3}   ({})",
+            if f % 2 == 0 { "hot" } else { "cold" }
+        );
+    }
+
+    if let Some(model) = predictor.learner().model() {
+        println!("\nfeature importance (gain):");
+        let names = FeatureConfig::default().feature_names();
+        let mut imp: Vec<(String, f64)> = names
+            .into_iter()
+            .zip(model.feature_importance())
+            .collect();
+        imp.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (name, gain) in imp.iter().take(5) {
+            println!("  {name:<28} {gain:.3}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The Figure 2 experiment as a runnable example: DFSIO throughput for all
+//! four file-system variants, at reduced scale.
+//!
+//! Run with: `cargo run --release --example dfsio_throughput`
+
+use octopuspp::cluster::{run_dfsio, DfsioConfig, Scenario};
+use octopuspp::common::ByteSize;
+
+fn main() {
+    for scenario in [
+        Scenario::Hdfs,
+        Scenario::HdfsCache,
+        Scenario::OctopusFs,
+        Scenario::policy_pair("xgb", "xgb"),
+    ] {
+        let cfg = DfsioConfig {
+            scenario,
+            total: ByteSize::gb(24),
+            file_size: ByteSize::gb(1),
+            window: ByteSize::gb(3),
+            ..DfsioConfig::default()
+        };
+        let report = run_dfsio(&cfg);
+        println!("\n[{}]", report.scenario);
+        let fmt = |s: &[(f64, f64)]| {
+            s.iter()
+                .map(|(g, m)| format!("{g:.0}GB:{m:.0}MB/s"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("  write: {}", fmt(&report.write));
+        println!("  read:  {}", fmt(&report.read));
+    }
+}

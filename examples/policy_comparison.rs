@@ -1,0 +1,38 @@
+//! Compare all tiering policies on the same workload, like the paper's §7.2.
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+
+use octopuspp::cluster::Scenario;
+use octopuspp::experiments::endtoend::{compare_scenarios, main_scenarios};
+use octopuspp::experiments::ExpSettings;
+use octopuspp::metrics::render_table;
+use octopuspp::workload::TraceKind;
+
+fn main() {
+    let settings = ExpSettings::quick(7);
+    println!("running {} scenarios on the FB workload...", main_scenarios().len() + 1);
+    let mut scenarios = vec![Scenario::HdfsCache];
+    scenarios.extend(main_scenarios());
+    let outcomes = compare_scenarios(&settings, TraceKind::Facebook, &scenarios);
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                format!("{:.1}%", o.completion_reduction.iter().sum::<f64>() / 6.0),
+                format!("{:.1}%", o.efficiency_improvement.iter().sum::<f64>() / 6.0),
+                format!("{:.1}%", o.hit_by_access.hr * 100.0),
+                format!("{:.1}%", o.hit_by_access.bhr * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["policy", "avg completion gain", "avg efficiency gain", "HR", "BHR"],
+            &rows
+        )
+    );
+    println!("(gains are vs the HDFS baseline; quick-mode workload)");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a tiered DFS, write and read files, watch the XGB
+//! policies move replicas between tiers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use octopuspp::cluster::{run_trace, Scenario, SimConfig};
+use octopuspp::common::StorageTier;
+use octopuspp::workload::{generate, TraceKind, WorkloadConfig};
+use octopuspp::common::SimDuration;
+
+fn main() {
+    // A small Facebook-flavoured workload: 200 jobs over 2 simulated hours.
+    let workload = WorkloadConfig {
+        jobs: 200,
+        duration: SimDuration::from_hours(2),
+        ..WorkloadConfig::facebook()
+    };
+    let trace = generate(&workload, 42);
+    println!(
+        "workload: {} jobs over {} input files ({:.1} GB)",
+        trace.jobs.len(),
+        trace.files.len(),
+        trace.total_input_bytes().as_gb_f64()
+    );
+
+    // Octopus++ with the ML-driven policies on both sides.
+    let cfg = SimConfig {
+        scenario: Scenario::policy_pair("xgb", "xgb"),
+        seed: 42,
+        ..SimConfig::default()
+    };
+    let report = run_trace(cfg, &trace);
+
+    println!("scenario: {}", report.scenario);
+    println!("mean job completion: {:.2}s", report.mean_completion_secs());
+    println!(
+        "bytes read by tier:  MEM {:.2} GB | SSD {:.2} GB | HDD {:.2} GB",
+        report.bytes_read_by_tier[StorageTier::Memory.index()].as_gb_f64(),
+        report.bytes_read_by_tier[StorageTier::Ssd.index()].as_gb_f64(),
+        report.bytes_read_by_tier[StorageTier::Hdd.index()].as_gb_f64(),
+    );
+    println!(
+        "replica transfers completed: {} ({} GB moved up, {} GB moved down)",
+        report.movement.transfers_completed,
+        report
+            .movement
+            .upgraded_to
+            .get(StorageTier::Memory)
+            .as_gb_f64(),
+        (*report.movement.downgraded_to.get(StorageTier::Ssd)
+            + *report.movement.downgraded_to.get(StorageTier::Hdd))
+        .as_gb_f64(),
+    );
+}

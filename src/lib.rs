@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the full Octopus++ public API.
+pub use octo_access as access;
+pub use octo_cluster as cluster;
+pub use octo_common as common;
+pub use octo_dfs as dfs;
+pub use octo_experiments as experiments;
+pub use octo_gbt as gbt;
+pub use octo_metrics as metrics;
+pub use octo_policies as policies;
+pub use octo_simkit as simkit;
+pub use octo_workload as workload;

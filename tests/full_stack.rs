@@ -1,0 +1,135 @@
+//! Repo-level integration tests: the whole stack through the facade crate.
+
+use octopuspp::cluster::{run_trace, Scenario, SimConfig};
+use octopuspp::common::{ByteSize, SimDuration, StorageTier};
+use octopuspp::experiments::endtoend::{compare_scenarios, main_scenarios};
+use octopuspp::experiments::ExpSettings;
+use octopuspp::workload::{generate, TraceKind, WorkloadConfig};
+
+fn quick_trace(kind: TraceKind, seed: u64) -> octopuspp::workload::Trace {
+    let base = WorkloadConfig::for_kind(kind);
+    generate(
+        &WorkloadConfig {
+            jobs: base.jobs / 5,
+            duration: SimDuration::from_hours(2),
+            ..base
+        },
+        seed,
+    )
+}
+
+#[test]
+fn facade_exposes_the_full_pipeline() {
+    let trace = quick_trace(TraceKind::Facebook, 1);
+    let report = run_trace(
+        SimConfig {
+            scenario: Scenario::policy_pair("lru", "osa"),
+            seed: 1,
+            ..SimConfig::default()
+        },
+        &trace,
+    );
+    assert_eq!(report.jobs.len(), trace.jobs.len());
+    assert!(report.read_from_memory() > ByteSize::ZERO);
+}
+
+#[test]
+fn xgb_handles_cmu_periodicity_better_than_lru() {
+    // The paper's central claim (§7.2): on the CMU workload, whose
+    // re-access gaps exceed what recency can hold in memory, the learned
+    // policy beats LRU-OSA on memory byte hit ratio.
+    let settings = ExpSettings::quick(77);
+    let outcomes = compare_scenarios(
+        &settings,
+        TraceKind::Cmu,
+        &[
+            Scenario::policy_pair("lru", "osa"),
+            Scenario::policy_pair("xgb", "xgb"),
+        ],
+    );
+    let lru = &outcomes[0];
+    let xgb = &outcomes[1];
+    assert!(
+        xgb.hit_by_access.bhr >= lru.hit_by_access.bhr * 0.95,
+        "XGB should at least match LRU on CMU BHR: {:.3} vs {:.3}",
+        xgb.hit_by_access.bhr,
+        lru.hit_by_access.bhr
+    );
+    // And XGB must produce a real completion-time win over HDFS somewhere.
+    assert!(
+        xgb.completion_reduction.iter().any(|v| *v > 0.0),
+        "XGB reductions: {:?}",
+        xgb.completion_reduction
+    );
+}
+
+#[test]
+fn every_main_scenario_is_stable_across_workloads() {
+    let settings = ExpSettings::quick(3);
+    for kind in [TraceKind::Facebook, TraceKind::Cmu] {
+        let outcomes = compare_scenarios(&settings, kind, &main_scenarios());
+        for o in &outcomes {
+            // Sanity: ratios are in range, distributions sum to ~1.
+            assert!((0.0..=1.0).contains(&o.hit_by_access.hr), "{}", o.label);
+            assert!((0.0..=1.0).contains(&o.hit_by_access.bhr), "{}", o.label);
+            for row in &o.tier_distribution {
+                let s: f64 = row.iter().sum();
+                assert!(s == 0.0 || (s - 1.0).abs() < 1e-9, "{}: {row:?}", o.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_tier_never_oversubscribed_under_any_policy() {
+    let trace = quick_trace(TraceKind::Facebook, 21);
+    for scenario in [
+        Scenario::HdfsCache,
+        Scenario::policy_pair("lfu", "lrfu"),
+        Scenario::policy_pair("life", "exd"),
+        Scenario::policy_pair("lfu-f", "xgb"),
+    ] {
+        // The run itself asserts capacity invariants internally (debug
+        // asserts in the node manager); completing cleanly is the test.
+        let report = run_trace(
+            SimConfig {
+                scenario: scenario.clone(),
+                seed: 5,
+                ..SimConfig::default()
+            },
+            &trace,
+        );
+        assert_eq!(
+            report.jobs.len(),
+            trace.jobs.len(),
+            "{} lost jobs",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn tier_reads_cover_all_input_bytes() {
+    let trace = quick_trace(TraceKind::Cmu, 8);
+    let report = run_trace(
+        SimConfig {
+            scenario: Scenario::OctopusFs,
+            seed: 2,
+            ..SimConfig::default()
+        },
+        &trace,
+    );
+    let expected: ByteSize = trace
+        .jobs
+        .iter()
+        .map(|j| trace.files[j.input].size)
+        .sum();
+    // Block-granularity rounding keeps these within a whisker.
+    let total = report.total_read();
+    let ratio = total.as_gb_f64() / expected.as_gb_f64();
+    assert!(
+        (0.99..=1.01).contains(&ratio),
+        "read {total} vs expected {expected}"
+    );
+    let _ = StorageTier::ALL;
+}
