@@ -1,0 +1,353 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per call from the deterministic
+//! [`TestRng`]. Unlike upstream proptest there is no value tree and no
+//! shrinking; strategies are plain generators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Strategies are taken by reference inside combinators, so a blanket impl on
+// references keeps call sites flexible.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sint_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f32() * (self.end - self.start)
+    }
+}
+
+/// `proptest::bool::ANY`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    assert!(lo <= hi, "invalid vec length bounds");
+    VecStrategy { element, lo, hi }
+}
+
+/// Length specifier for [`vec`]: a `usize` range or an exact length.
+pub trait VecLen {
+    /// Inclusive (lo, hi) bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl VecLen for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl VecLen for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl VecLen for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::option::of(strategy)` — `None` about a quarter of the time,
+/// matching upstream's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// String strategies from a regex literal, e.g. `"[a-c]{1,2}"`.
+///
+/// Supports the subset of regex syntax the workspace's tests use: literal
+/// characters, character classes `[a-z0-9_]` (ranges and singletons), and
+/// `{n}` / `{m,n}` repetition suffixes on a class or literal. Anything else
+/// panics loudly rather than generating surprising strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pattern {
+            let reps =
+                piece.min_reps + rng.below((piece.max_reps - piece.min_reps + 1) as u64) as usize;
+            for _ in 0..reps {
+                let c = piece.chars[rng.below(piece.chars.len() as u64) as usize];
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+struct Piece {
+    chars: Vec<char>,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '{' | '}' | ']' => panic!("unsupported regex syntax at {i} in {pattern:?}"),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min_reps, max_reps) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min_reps <= max_reps, "inverted repetition in {pattern:?}");
+        pieces.push(Piece {
+            chars: alphabet,
+            min_reps,
+            max_reps,
+        });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let u = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-4i64..4).generate(&mut rng);
+            assert!((-4..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = vec(0u64..10, 2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_arms() {
+        let mut rng = TestRng::for_test("option");
+        let strat = of(0u64..10);
+        let vals: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+
+    #[test]
+    fn regex_class_with_repetition() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-c]{1,2}".generate(&mut rng);
+            assert!((1..=2).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_exact_reps() {
+        let mut rng = TestRng::for_test("regex2");
+        let s = "x[0-1]{3}y".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_test("tuple");
+        let (f, b) = (0.0f64..1.0, crate::bool::ANY).generate(&mut rng);
+        assert!((0.0..1.0).contains(&f));
+        let _: bool = b;
+    }
+}

@@ -1,0 +1,80 @@
+//! Test configuration, case outcome, and the deterministic RNG driving
+//! generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mirrors `proptest::test_runner::Config` (the parts used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Mirrors `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; that is well within budget for the
+        // workspace's tests.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject(&'static str),
+    /// `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG used for input generation.
+///
+/// Seeded from a stable FNV-1a hash of the test name, so each property sees
+/// the same inputs on every run and on every machine (upstream proptest is
+/// random by default; determinism is deliberate here so CI failures
+/// reproduce locally).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    #[inline]
+    pub fn unit_f32(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n.max(1))
+    }
+
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.inner.gen_bool(0.5)
+    }
+}

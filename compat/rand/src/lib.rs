@@ -1,0 +1,332 @@
+//! Offline compatibility shim for the subset of `rand` 0.8 this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the external
+//! `rand` crate cannot be fetched. This crate re-implements the API surface
+//! the workspace actually touches — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `RngCore`, and `Rng::{gen, gen_range, gen_bool}` — on top of a
+//! xoshiro256++ generator seeded via SplitMix64.
+//!
+//! Determinism contract: identical seeds produce identical streams across
+//! runs and platforms. The streams are NOT bit-compatible with upstream
+//! `rand`'s ChaCha-based `StdRng`; nothing in the workspace depends on the
+//! upstream bit streams, only on seed-stable determinism.
+
+pub mod rngs {
+    /// A deterministic generator with the same name/role as `rand::rngs::StdRng`.
+    ///
+    /// Internally xoshiro256++ (Blackman & Vigna), which passes BigCrush and
+    /// is more than adequate for the statistical tests in this workspace.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Minimal mirror of `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl RngCore for rngs::StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Minimal mirror of `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed with SplitMix64, exactly the scheme upstream
+    /// `rand` documents for `seed_from_u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // All-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        rngs::StdRng::from_state(s)
+    }
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        rngs::StdRng::from_state(if s == [0; 4] {
+            [0x9E37_79B9_7F4A_7C15, 1, 2, 3]
+        } else {
+            s
+        })
+    }
+}
+
+/// Types that can be drawn uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's widening-multiply map; bias is < 2^-64 * span,
+                // irrelevant for the simulation workloads here.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi - lo) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = <$t as Standard>::sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Minimal mirror of `rand::Rng`.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(5u64..17);
+            assert!((5..17).contains(&v));
+            let f = r.gen_range(-0.8f64..0.8);
+            assert!((-0.8..0.8).contains(&f));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_mean() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

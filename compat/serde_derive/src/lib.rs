@@ -1,0 +1,267 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! `syn`/`quote` are unavailable (no network to crates.io), so the item is
+//! parsed directly from the `proc_macro::TokenStream` and the impl is emitted
+//! as formatted source text. The supported grammar is exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit / tuple / struct variants (optional discriminants),
+//! * at most simple type generics (`struct PerTier<T> { ... }`); every type
+//!   parameter is bound by `Serialize` / `Deserialize` in the emitted impl.
+//!
+//! Representation matches upstream serde's defaults where the data model
+//! allows: structs are maps keyed by field name, unit enum variants are the
+//! variant-name string, payload variants are externally tagged
+//! (`{"Variant": ...}`).
+
+use proc_macro::TokenStream;
+use std::fmt::Write;
+
+mod parse;
+
+use parse::{Body, Item, VariantBody};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    let (impl_generics, ty_generics) = generics_for(&item, "::serde::Serialize");
+    let name = &item.name;
+
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Content::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Body::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Content::Seq(vec![{items}])")
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),"
+                        );
+                    }
+                    VariantBody::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Map(vec![{entries}]))]),"
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    let (impl_generics, ty_generics) = generics_for(&item, "::serde::Deserialize");
+    let name = &item.name;
+
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "match __c {{ ::serde::Content::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+             \"expected null for unit struct {name}, found {{}}\", other.kind()))) }}"
+        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ let __seq = __c.expect_seq(\"{name}\")?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(format!(\
+                 \"expected {n} elements for {name}, found {{}}\", __seq.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({items})) }}"
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::map_field(__m, \"{f}\"))?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ let __m = __c.expect_map(\"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }}) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantBody::Tuple(1) => {
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__v)?)),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => {{ let __seq = __v.expect_seq(\"{name}::{vn}\")?;\n\
+                             if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(format!(\
+                             \"expected {n} elements for {name}::{vn}, found {{}}\", \
+                             __seq.len()))); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items})) }}"
+                        );
+                    }
+                    VariantBody::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     ::serde::map_field(__vm, \"{f}\"))?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => {{ let __vm = __v.expect_map(\"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }}"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                     \"unknown unit variant {{other:?}} for enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __v) = &__m[0];\n\
+                     match __k.as_str() {{\n\
+                         {payload_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                         \"unknown variant {{other:?}} for enum {name}\"))),\n\
+                     }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected string or single-entry map for enum {name}, found {{}}\", \
+                 other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables)]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn deserialize(__c: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+/// Builds `impl<T: Bound, ...>` and `<T, ...>` strings; empty when the item
+/// has no type parameters.
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let with_bounds = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let names = item.generics.join(", ");
+    (format!("<{with_bounds}>"), format!("<{names}>"))
+}

@@ -1,0 +1,223 @@
+//! Token-level parsing of the derive input item (no `syn`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+pub struct Item {
+    pub name: String,
+    /// Type parameter names, in declaration order. Lifetimes and const
+    /// parameters are rejected — nothing in the workspace derives on them.
+    pub generics: Vec<String>,
+    pub body: Body,
+}
+
+pub enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+pub struct Variant {
+    pub name: String,
+    pub body: VariantBody,
+}
+
+pub enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+pub fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // The bracket group of the attribute.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("serde_derive: unexpected token before item: {other}"),
+            None => panic!("serde_derive: empty derive input"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    let generics = parse_generics(&mut tokens);
+
+    // Collect the remaining top-level tokens; the body group or `;` may be
+    // preceded by a where clause (not supported — detect and reject).
+    let mut rest: Vec<TokenTree> = Vec::new();
+    for t in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &t {
+            if id.to_string() == "where" {
+                panic!("serde_derive: `where` clauses are not supported (item {name})");
+            }
+        }
+        rest.push(t);
+    }
+
+    let body = if kind == "enum" {
+        let group = match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            _ => panic!("serde_derive: enum {name} has no brace body"),
+        };
+        Body::Enum(parse_variants(group.stream()))
+    } else {
+        match rest.first() {
+            None => Body::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(other) => panic!("serde_derive: unexpected struct body for {name}: {other}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Parses `<A, B, ...>` after the item name, returning type parameter names.
+fn parse_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Vec<String> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    tokens.next(); // consume '<'
+
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime parameters are not supported");
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && at_param_start => {
+                if id.to_string() == "const" {
+                    panic!("serde_derive: const parameters are not supported");
+                }
+                params.push(id.to_string());
+                at_param_start = false;
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unclosed generics"),
+        }
+    }
+    params
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` as nested.
+/// (Parens/brackets/braces arrive as single `Group` tokens, so only angle
+/// brackets need explicit depth tracking.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from `{ pub a: T, #[attr] b: U, ... }`.
+fn parse_named_fields(stream: TokenStream, item: &str) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut it = chunk.into_iter().peekable();
+            loop {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        it.next(); // attribute bracket group
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next();
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) => break id.to_string(),
+                    other => panic!("serde_derive: malformed field in {item}: {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Parses enum variants: `A`, `B(T, U)`, `C { x: X }`, optionally with
+/// attributes or `= discriminant`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut it = chunk.into_iter().peekable();
+            let name = loop {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        it.next();
+                    }
+                    Some(TokenTree::Ident(id)) => break id.to_string(),
+                    other => panic!("serde_derive: malformed enum variant: {other:?}"),
+                }
+            };
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantBody::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantBody::Named(parse_named_fields(g.stream(), &name))
+                }
+                // `= discriminant` or nothing: a unit variant either way.
+                _ => VariantBody::Unit,
+            };
+            Variant { name, body }
+        })
+        .collect()
+}
