@@ -21,8 +21,17 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!("  job size MB   {}", fmt(cdfs.job_size_mb.points(&size_probes)));
-        println!("  file size MB  {}", fmt(cdfs.file_size_mb.points(&size_probes)));
-        println!("  access freq   {}", fmt(cdfs.access_frequency.points(&freq_probes)));
+        println!(
+            "  job size MB   {}",
+            fmt(cdfs.job_size_mb.points(&size_probes))
+        );
+        println!(
+            "  file size MB  {}",
+            fmt(cdfs.file_size_mb.points(&size_probes))
+        );
+        println!(
+            "  access freq   {}",
+            fmt(cdfs.access_frequency.points(&freq_probes))
+        );
     }
 }

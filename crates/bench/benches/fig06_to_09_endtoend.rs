@@ -42,8 +42,10 @@ fn main() {
                 .iter()
                 .map(|[m, s, h]| format!("{:.0}/{:.0}/{:.0}", m * 100.0, s * 100.0, h * 100.0))
                 .collect();
-            println!("  {:>10}:  A {}  B {}  C {}  D {}  E {}  F {}",
-                o.label, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]);
+            println!(
+                "  {:>10}:  A {}  B {}  C {}  D {}  E {}  F {}",
+                o.label, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+            );
         }
 
         if kind == TraceKind::Facebook {
@@ -67,7 +69,13 @@ fn main() {
             print!(
                 "{}",
                 render_table(
-                    &["policy", "HR(access)", "BHR(access)", "HR(location)", "BHR(location)"],
+                    &[
+                        "policy",
+                        "HR(access)",
+                        "BHR(access)",
+                        "HR(location)",
+                        "BHR(location)"
+                    ],
                     &rows
                 )
             );

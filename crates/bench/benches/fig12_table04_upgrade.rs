@@ -38,7 +38,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["policy", "GB read from MEM", "GB upgraded to MEM", "Byte Accuracy", "Byte Coverage"],
+            &[
+                "policy",
+                "GB read from MEM",
+                "GB upgraded to MEM",
+                "Byte Accuracy",
+                "Byte Coverage"
+            ],
             &rows
         )
     );

@@ -13,7 +13,11 @@ fn main() {
     let settings = bench_settings();
     let (periods, total): (Vec<(u64, &str)>, SimDuration) = match settings.mode {
         Mode::Full => (
-            vec![(360, "switch every 6h"), (180, "every 3h"), (90, "every 1.5h")],
+            vec![
+                (360, "switch every 6h"),
+                (180, "every 3h"),
+                (90, "every 1.5h"),
+            ],
             SimDuration::from_hours(12),
         ),
         Mode::Quick => (
@@ -22,12 +26,7 @@ fn main() {
         ),
     };
     for (mins, label) in periods {
-        let tl = workload_shift_timeline(
-            &settings,
-            SimDuration::from_mins(mins),
-            total,
-            label,
-        );
+        let tl = workload_shift_timeline(&settings, SimDuration::from_mins(mins), total, label);
         let pts: Vec<String> = tl
             .points
             .iter()

@@ -29,7 +29,14 @@ fn main() {
         print!(
             "{}",
             render_table(
-                &["Bin", "Data size", "% Jobs", "% Resources", "% I/O", "Task time (min)"],
+                &[
+                    "Bin",
+                    "Data size",
+                    "% Jobs",
+                    "% Resources",
+                    "% I/O",
+                    "Task time (min)"
+                ],
                 &rows
             )
         );

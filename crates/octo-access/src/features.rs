@@ -119,9 +119,7 @@ impl FeatureConfig {
 
         if self.use_creation {
             match past.first() {
-                Some(&oldest) => {
-                    out.push(self.norm_delta(oldest.duration_since(stats.created)))
-                }
+                Some(&oldest) => out.push(self.norm_delta(oldest.duration_since(stats.created))),
                 None => out.push(f32::NAN),
             }
             out.push(self.norm_delta(reference.duration_since(stats.created)));
@@ -135,8 +133,8 @@ impl FeatureConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use octo_dfs::StatsRegistry;
     use octo_common::FileId;
+    use octo_dfs::StatsRegistry;
 
     /// Reconstructs the worked example of Figure 4: a 200 MB file created at
     /// 8:00 and accessed at 9:20, 9:50 and 11:10, seen at reference 11:30.
@@ -216,7 +214,10 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(no_creation.n_features(), 13);
-        let k6 = FeatureConfig { k: 6, ..base.clone() };
+        let k6 = FeatureConfig {
+            k: 6,
+            ..base.clone()
+        };
         assert_eq!(k6.n_features(), 9);
         let k18 = FeatureConfig { k: 18, ..base };
         assert_eq!(k18.n_features(), 21);

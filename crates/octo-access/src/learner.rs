@@ -227,7 +227,11 @@ mod tests {
     fn stream_point(i: u64) -> (Vec<f32>, bool) {
         let x0 = ((i * 37) % 100) as f32 / 100.0;
         let x1 = ((i * 17) % 100) as f32 / 100.0;
-        let x2 = if i.is_multiple_of(7) { f32::NAN } else { ((i * 3) % 10) as f32 };
+        let x2 = if i.is_multiple_of(7) {
+            f32::NAN
+        } else {
+            ((i * 3) % 10) as f32
+        };
         (vec![x0, x1, x2], x0 > 0.5)
     }
 

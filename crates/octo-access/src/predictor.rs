@@ -184,15 +184,9 @@ mod tests {
         let f = FileId(0);
         reg.on_create(f, ByteSize::mb(1), SimTime::from_mins_helper(100));
         // now - w < created: no training point.
-        assert!(!pred.observe_file(
-            reg.get(f).unwrap(),
-            SimTime::from_millis(110 * 60_000)
-        ));
+        assert!(!pred.observe_file(reg.get(f).unwrap(), SimTime::from_millis(110 * 60_000)));
         // Later it works.
-        assert!(pred.observe_file(
-            reg.get(f).unwrap(),
-            SimTime::from_millis(200 * 60_000)
-        ));
+        assert!(pred.observe_file(reg.get(f).unwrap(), SimTime::from_millis(200 * 60_000)));
     }
 
     trait MinsHelper {

@@ -39,11 +39,7 @@ impl ResourceMap {
     }
 
     /// Path for reading `bytes` from `(src_node, tier)` into `dst_node`.
-    pub fn read_path(
-        &self,
-        src: (NodeId, StorageTier),
-        dst_node: NodeId,
-    ) -> Vec<ResourceId> {
+    pub fn read_path(&self, src: (NodeId, StorageTier), dst_node: NodeId) -> Vec<ResourceId> {
         if src.0 == dst_node {
             vec![self.device(src.0, src.1)]
         } else {
@@ -60,10 +56,7 @@ impl ResourceMap {
     /// pipeline crosses the network (HDFS chain replication — the write
     /// rate is bottlenecked by the slowest element, §3.1).
     pub fn write_pipeline_path(&self, replicas: &[(NodeId, StorageTier)]) -> Vec<ResourceId> {
-        let mut path: Vec<ResourceId> = replicas
-            .iter()
-            .map(|(n, t)| self.device(*n, *t))
-            .collect();
+        let mut path: Vec<ResourceId> = replicas.iter().map(|(n, t)| self.device(*n, *t)).collect();
         let mut nodes: Vec<NodeId> = replicas.iter().map(|(n, _)| *n).collect();
         nodes.sort_unstable();
         nodes.dedup();

@@ -108,9 +108,7 @@ impl Scenario {
         seed: u64,
     ) -> TieringEngine {
         match self {
-            Scenario::Hdfs | Scenario::HdfsCache | Scenario::OctopusFs => {
-                TieringEngine::disabled()
-            }
+            Scenario::Hdfs | Scenario::HdfsCache | Scenario::OctopusFs => TieringEngine::disabled(),
             Scenario::OctopusPlusPlus {
                 downgrade, upgrade, ..
             } => {

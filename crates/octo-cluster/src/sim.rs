@@ -22,9 +22,7 @@ use crate::resources::ResourceMap;
 use crate::runstats::{JobResult, RunReport, TaskStat};
 use crate::scenario::Scenario;
 use octo_access::LearnerConfig;
-use octo_common::{
-    ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier,
-};
+use octo_common::{ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier};
 use octo_dfs::{DfsConfig, TieredDfs, TransferId};
 use octo_policies::{TieringConfig, TieringEngine};
 use octo_simkit::{EventQueue, FlowModel};
@@ -77,8 +75,14 @@ impl Default for SimConfig {
 enum Event {
     Ingest(usize),
     Submit(usize),
-    CpuDone { job: usize, task: usize, node: NodeId },
-    FlowTick { version: u64 },
+    CpuDone {
+        job: usize,
+        task: usize,
+        node: NodeId,
+    },
+    FlowTick {
+        version: u64,
+    },
     Monitor,
     DeleteTemp(FileId),
 }
@@ -425,8 +429,14 @@ impl<'t> ClusterSim<'t> {
             read_secs,
             cpu_secs: cpu.as_secs_f64(),
         });
-        self.queue
-            .schedule(now + cpu, Event::CpuDone { job, task, node: dst });
+        self.queue.schedule(
+            now + cpu,
+            Event::CpuDone {
+                job,
+                task,
+                node: dst,
+            },
+        );
     }
 
     fn handle_cpu_done(&mut self, job: usize, _task: usize, node: NodeId, now: SimTime) {
@@ -468,7 +478,9 @@ impl<'t> ClusterSim<'t> {
             return;
         }
         let file = self.jobs[job].output_file.expect("output in progress");
-        self.dfs.commit_file(file, now).expect("output just written");
+        self.dfs
+            .commit_file(file, now)
+            .expect("output just written");
         self.engine.notify_created(&self.dfs, file, now);
         let spec = &self.trace.jobs[self.jobs[job].spec];
         if !spec.output_durable {

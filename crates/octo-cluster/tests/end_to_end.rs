@@ -67,7 +67,10 @@ fn all_scenarios_run_to_completion() {
             trace.jobs.len(),
             "{label}: every job must finish"
         );
-        assert!(report.total_read() > ByteSize::ZERO, "{label}: reads happened");
+        assert!(
+            report.total_read() > ByteSize::ZERO,
+            "{label}: reads happened"
+        );
         for j in &report.jobs {
             assert!(j.finish >= j.submit, "{label}: causality");
             assert!(!j.tasks.is_empty(), "{label}: jobs have tasks");
@@ -104,9 +107,7 @@ fn tiering_policies_beat_plain_octopusfs_on_memory_reads() {
     let plain = run_trace(small_sim(Scenario::OctopusFs), &trace);
     let managed = run_trace(small_sim(Scenario::policy_pair("lru", "osa")), &trace);
     let plain_frac = plain.read_from_memory().fraction_of(plain.total_read());
-    let managed_frac = managed
-        .read_from_memory()
-        .fraction_of(managed.total_read());
+    let managed_frac = managed.read_from_memory().fraction_of(managed.total_read());
     assert!(
         managed_frac > plain_frac,
         "LRU-OSA should raise memory reads: {managed_frac:.3} vs {plain_frac:.3}"

@@ -144,7 +144,12 @@ impl BlockManager {
     }
 
     /// Removes the replica of `block` at `(node, tier)`.
-    pub fn remove_replica(&mut self, block: BlockId, node: NodeId, tier: StorageTier) -> Result<()> {
+    pub fn remove_replica(
+        &mut self,
+        block: BlockId,
+        node: NodeId,
+        tier: StorageTier,
+    ) -> Result<()> {
         let file = {
             let b = self.block_mut(block);
             let before = b.replicas.len();
@@ -239,9 +244,7 @@ impl BlockManager {
 
     /// Number of block replicas `file` has on `tier`.
     pub fn file_tier_count(&self, file: FileId, tier: StorageTier) -> u32 {
-        self.tier_counts
-            .get(&file)
-            .map_or(0, |c| *c.get(tier))
+        self.tier_counts.get(&file).map_or(0, |c| *c.get(tier))
     }
 
     /// Files with at least one block replica on `tier`, ascending by id.
@@ -299,7 +302,10 @@ mod tests {
         let b = bm.create_block(f, 0, ByteSize::mb(64));
         bm.add_replica(b, NodeId(0), MEM).unwrap();
         bm.set_moving(b, NodeId(0), MEM, true).unwrap();
-        assert!(bm.block(b).replica_on_tier(MEM).is_none(), "moving replicas hidden");
+        assert!(
+            bm.block(b).replica_on_tier(MEM).is_none(),
+            "moving replicas hidden"
+        );
 
         bm.relocate_replica(b, (NodeId(0), MEM), (NodeId(0), SSD))
             .unwrap();

@@ -150,8 +150,12 @@ mod tests {
         assert!(bad(|c| c.nic_bandwidth_mbps = 0.0));
         assert!(bad(|c| c.placement_fill_limit = 1.5));
         assert!(bad(|c| c.access_history = 0));
-        assert!(bad(|c| *c.tier_capacity.get_mut(StorageTier::Ssd) = ByteSize::ZERO));
-        assert!(bad(|c| *c.tier_bandwidth_mbps.get_mut(StorageTier::Hdd) = -1.0));
+        assert!(bad(
+            |c| *c.tier_capacity.get_mut(StorageTier::Ssd) = ByteSize::ZERO
+        ));
+        assert!(bad(
+            |c| *c.tier_bandwidth_mbps.get_mut(StorageTier::Hdd) = -1.0
+        ));
     }
 
     #[test]

@@ -27,9 +27,7 @@ use crate::replication::{
     BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind, TransferTable,
 };
 use crate::stats::{AccessStats, StatsRegistry};
-use octo_common::{
-    BlockId, ByteSize, FileId, NodeId, OctoError, Result, SimTime, StorageTier,
-};
+use octo_common::{BlockId, ByteSize, FileId, NodeId, OctoError, Result, SimTime, StorageTier};
 
 /// Where a downgrade should land (§5.3: normally the placement policy picks
 /// the tier; `Delete` reproduces plain cache eviction).
@@ -129,7 +127,9 @@ impl TieredDfs {
         let mut remaining = size;
         let mut rollback_ok = true;
         for index in 0..n_blocks {
-            let bsize = remaining.min(self.config.block_size).max(ByteSize::from_bytes(1));
+            let bsize = remaining
+                .min(self.config.block_size)
+                .max(ByteSize::from_bytes(1));
             remaining = remaining.saturating_sub(self.config.block_size);
             let placements =
                 self.placement
@@ -339,7 +339,10 @@ impl TieredDfs {
                         }
                         _ => from_tier.tiers_below().collect(),
                     };
-                    match self.placement.place_move(&self.nodes, info, &allowed, src.0) {
+                    match self
+                        .placement
+                        .place_move(&self.nodes, info, &allowed, src.0)
+                    {
                         Some(to) => {
                             self.nodes
                                 .reserve(to.0, to.1, size)
@@ -571,7 +574,9 @@ impl TieredDfs {
     pub fn file_id(&self, path: &str) -> Result<FileId> {
         match self.ns.lookup(path)? {
             Entry::File(id) => Ok(id),
-            Entry::Dir => Err(OctoError::InvalidArgument(format!("{path:?} is a directory"))),
+            Entry::Dir => Err(OctoError::InvalidArgument(format!(
+                "{path:?} is a directory"
+            ))),
         }
     }
 

@@ -274,9 +274,7 @@ impl Namespace {
         let idx = self.resolve(path)?;
         match self.get(idx) {
             Inode::Dir { children, .. } => Ok(children.keys().cloned().collect()),
-            Inode::File { .. } => Err(OctoError::InvalidArgument(format!(
-                "{path:?} is a file"
-            ))),
+            Inode::File { .. } => Err(OctoError::InvalidArgument(format!("{path:?} is a file"))),
         }
     }
 
@@ -373,17 +371,11 @@ mod tests {
         ns.create_file("/staging/f1", FileId(1)).unwrap();
         ns.rename("/staging/f1", "/final/renamed").unwrap();
         assert!(!ns.exists("/staging/f1"));
-        assert_eq!(
-            ns.lookup("/final/renamed").unwrap(),
-            Entry::File(FileId(1))
-        );
+        assert_eq!(ns.lookup("/final/renamed").unwrap(), Entry::File(FileId(1)));
 
         ns.create_file("/staging/f2", FileId(2)).unwrap();
         ns.rename("/staging", "/archive").unwrap();
-        assert_eq!(
-            ns.lookup("/archive/f2").unwrap(),
-            Entry::File(FileId(2))
-        );
+        assert_eq!(ns.lookup("/archive/f2").unwrap(), Entry::File(FileId(2)));
 
         // Cannot rename into own subtree or over an existing path.
         ns.mkdirs("/x/y").unwrap();

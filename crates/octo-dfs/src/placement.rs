@@ -85,9 +85,7 @@ impl PlacementPolicy {
 
     fn fits(&self, nodes: &NodeManager, node: NodeId, tier: StorageTier, size: ByteSize) -> bool {
         let d = nodes.device(node, tier);
-        let limit = ByteSize::from_bytes(
-            (d.capacity().as_bytes() as f64 * self.fill_limit) as u64,
-        );
+        let limit = ByteSize::from_bytes((d.capacity().as_bytes() as f64 * self.fill_limit) as u64);
         d.committed() + size <= limit
     }
 
@@ -247,7 +245,15 @@ impl PlacementPolicy {
             return best.map(|(c, _)| c);
         }
         // Fallback: any node without a copy.
-        self.best_candidate(nodes, block.size, &[tier], &holders, &tier_uses, None, false)
+        self.best_candidate(
+            nodes,
+            block.size,
+            &[tier],
+            &holders,
+            &tier_uses,
+            None,
+            false,
+        )
     }
 }
 
@@ -294,7 +300,11 @@ mod tests {
         // Fill every node's memory beyond the fill limit.
         for n in 0..4 {
             nodes
-                .reserve(NodeId(n), StorageTier::Memory, ByteSize::from_mb_f64(3900.0))
+                .reserve(
+                    NodeId(n),
+                    StorageTier::Memory,
+                    ByteSize::from_mb_f64(3900.0),
+                )
                 .unwrap();
         }
         let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 3);
@@ -304,7 +314,10 @@ mod tests {
             "memory above the fill limit must not receive replicas: {placed:?}"
         );
         // Replicas split across SSD and HDD (1+2 or 2+1).
-        let ssd = placed.iter().filter(|(_, t)| *t == StorageTier::Ssd).count();
+        let ssd = placed
+            .iter()
+            .filter(|(_, t)| *t == StorageTier::Ssd)
+            .count();
         assert!(ssd == 1 || ssd == 2);
     }
 
@@ -317,7 +330,11 @@ mod tests {
             .unwrap();
         let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 1);
         assert_eq!(placed.len(), 1);
-        assert_ne!(placed[0].0, NodeId(0), "placement should avoid the full node");
+        assert_ne!(
+            placed[0].0,
+            NodeId(0),
+            "placement should avoid the full node"
+        );
         assert_eq!(placed[0].1, StorageTier::Memory);
     }
 
@@ -370,7 +387,12 @@ mod tests {
         // Moving the memory replica down: node 1 already has a copy, so the
         // only legal destination is node 0 itself.
         let target = policy()
-            .place_move(&nodes, bm.block(b), &[StorageTier::Ssd, StorageTier::Hdd], NodeId(0))
+            .place_move(
+                &nodes,
+                bm.block(b),
+                &[StorageTier::Ssd, StorageTier::Hdd],
+                NodeId(0),
+            )
             .expect("node 0 has room");
         assert_eq!(target.0, NodeId(0));
     }

@@ -146,7 +146,12 @@ impl TransferTable {
     }
 
     /// Registers a transfer, assigning its id.
-    pub fn insert(&mut self, file: FileId, kind: TransferKind, blocks: Vec<BlockTransfer>) -> TransferId {
+    pub fn insert(
+        &mut self,
+        file: FileId,
+        kind: TransferKind,
+        blocks: Vec<BlockTransfer>,
+    ) -> TransferId {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.active.insert(
@@ -318,9 +323,6 @@ mod tests {
             (BlockId(3), 3),
         ];
         let report = replication_report(blocks.into_iter(), 3);
-        assert_eq!(
-            report,
-            vec![(BlockId(1), 2, 3), (BlockId(2), 4, 3)]
-        );
+        assert_eq!(report, vec![(BlockId(1), 2, 3), (BlockId(2), 4, 3)]);
     }
 }

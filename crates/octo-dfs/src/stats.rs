@@ -55,8 +55,7 @@ impl AccessStats {
 
     /// Approximate bytes of bookkeeping held for this file (§7.7).
     pub fn approx_memory_bytes(&self) -> usize {
-        std::mem::size_of::<AccessStats>()
-            + self.recent.capacity() * std::mem::size_of::<SimTime>()
+        std::mem::size_of::<AccessStats>() + self.recent.capacity() * std::mem::size_of::<SimTime>()
     }
 }
 

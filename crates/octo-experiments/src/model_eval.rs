@@ -25,7 +25,11 @@ enum Ev {
 fn stream(trace: &Trace, offset: SimDuration, file_base: u64) -> Vec<(SimTime, Ev, u64)> {
     let mut events: Vec<(SimTime, Ev, u64)> = Vec::new();
     for (i, f) in trace.files.iter().enumerate() {
-        events.push((f.created + offset, Ev::Create(i, f.size.as_bytes()), file_base));
+        events.push((
+            f.created + offset,
+            Ev::Create(i, f.size.as_bytes()),
+            file_base,
+        ));
     }
     for j in &trace.jobs {
         events.push((j.submit + offset, Ev::Access(j.input), file_base));
@@ -128,9 +132,7 @@ pub fn roc_experiment(
     let horizon = events.last().map(|(t, _, _)| *t).unwrap_or(SimTime::ZERO);
     // Test window: the last quarter of the stream (the paper holds out its
     // 6th hour; a quarter keeps the test set usable at quick scale too).
-    let test_start = horizon.saturating_sub(SimDuration::from_millis(
-        horizon.as_millis() / 4,
-    ));
+    let test_start = horizon.saturating_sub(SimDuration::from_millis(horizon.as_millis() / 4));
 
     let mut predictor = AccessPredictor::new(window, settings.learner(features));
     let mut registry = StatsRegistry::new(12);
@@ -148,10 +150,7 @@ pub fn roc_experiment(
         },
     );
     let roc = roc_curve(&scores);
-    let correct = scores
-        .iter()
-        .filter(|(s, y)| (*s >= 0.5) == *y)
-        .count();
+    let correct = scores.iter().filter(|(s, y)| (*s >= 0.5) == *y).count();
     RocResult {
         label: label.to_string(),
         roc,
@@ -183,7 +182,13 @@ pub fn ablation_variants() -> Vec<(&'static str, FeatureConfig)> {
                 ..base.clone()
             },
         ),
-        ("with 6 accesses", FeatureConfig { k: 6, ..base.clone() }),
+        (
+            "with 6 accesses",
+            FeatureConfig {
+                k: 6,
+                ..base.clone()
+            },
+        ),
         ("with 18 accesses", FeatureConfig { k: 18, ..base }),
     ]
 }

@@ -244,7 +244,10 @@ mod tests {
         model.train_continuation(&flipped, 15);
         let after = model.evaluate(&flipped).logloss;
         assert_eq!(model.n_trees(), 20);
-        assert!(after < before, "continuation must adapt: {before} -> {after}");
+        assert!(
+            after < before,
+            "continuation must adapt: {before} -> {after}"
+        );
     }
 
     #[test]

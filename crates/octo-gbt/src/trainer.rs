@@ -221,8 +221,7 @@ impl<'a> TreeBuilder<'a> {
             return;
         }
         let lambda = self.params.lambda;
-        let gain =
-            0.5 * (l.score(lambda) + r.score(lambda) - parent_score) - self.params.gamma;
+        let gain = 0.5 * (l.score(lambda) + r.score(lambda) - parent_score) - self.params.gamma;
         if gain <= 1e-12 {
             return;
         }
@@ -337,9 +336,14 @@ mod tests {
         assert_eq!(tree.depth(), 1);
         // The split should be between 4 and 5.
         match &tree.nodes()[0] {
-            Node::Split { feature, threshold, .. } => {
+            Node::Split {
+                feature, threshold, ..
+            } => {
                 assert_eq!(*feature, 0);
-                assert!(*threshold > 4.0 && *threshold <= 5.0, "threshold {threshold}");
+                assert!(
+                    *threshold > 4.0 && *threshold <= 5.0,
+                    "threshold {threshold}"
+                );
             }
             other => panic!("expected root split, got {other:?}"),
         }
@@ -396,8 +400,7 @@ mod tests {
                 }
                 let gr = total_g - gl;
                 let hr = total_h - hl;
-                let gain =
-                    0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent);
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent);
                 brute_best = brute_best.max(gain);
             }
         }

@@ -78,7 +78,11 @@ impl Tree {
                     right,
                 } => {
                     let v = row[*feature];
-                    let go_left = if v.is_nan() { *default_left } else { v < *threshold };
+                    let go_left = if v.is_nan() {
+                        *default_left
+                    } else {
+                        v < *threshold
+                    };
                     idx = if go_left { *left } else { *right };
                 }
             }

@@ -123,7 +123,11 @@ fn ratios(report: &RunReport, hit: impl Fn(&octo_cluster::TaskStat) -> bool) -> 
         }
     }
     HitRatios {
-        hr: if tasks == 0 { 0.0 } else { hits as f64 / tasks as f64 },
+        hr: if tasks == 0 {
+            0.0
+        } else {
+            hits as f64 / tasks as f64
+        },
         bhr: if bytes == 0 {
             0.0
         } else {
@@ -157,7 +161,11 @@ pub fn prefetch_stats(report: &RunReport) -> PrefetchStats {
     PrefetchStats {
         gb_read_from_memory: read_mem,
         gb_upgraded_to_memory: upgraded,
-        byte_accuracy: if upgraded > 0.0 { read_mem / upgraded } else { 0.0 },
+        byte_accuracy: if upgraded > 0.0 {
+            read_mem / upgraded
+        } else {
+            0.0
+        },
         byte_coverage: if total > 0.0 { read_mem / total } else { 0.0 },
     }
 }

@@ -108,15 +108,9 @@ impl crate::framework::UpgradePolicy for OsaUpgrade {
         "osa"
     }
 
-    fn start_upgrade(
-        &mut self,
-        dfs: &TieredDfs,
-        accessed: Option<FileId>,
-        _now: SimTime,
-    ) -> bool {
-        accessed.is_some_and(|f| {
-            dfs.is_movable(f) && !dfs.file_fully_on_tier(f, StorageTier::Memory)
-        })
+    fn start_upgrade(&mut self, dfs: &TieredDfs, accessed: Option<FileId>, _now: SimTime) -> bool {
+        accessed
+            .is_some_and(|f| dfs.is_movable(f) && !dfs.file_fully_on_tier(f, StorageTier::Memory))
     }
 
     fn select_upgrade(

@@ -107,22 +107,19 @@ impl DowngradePolicy for XgbDowngrade {
         }
         // Lowest probability of access within the (large) window; falls
         // back to plain LRU while the model warms up.
-        candidates
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                let pa = dfs
-                    .file_stats(*a)
-                    .and_then(|s| self.predictor.predict(s, now))
-                    .unwrap_or(0.0);
-                let pb = dfs
-                    .file_stats(*b)
-                    .and_then(|s| self.predictor.predict(s, now))
-                    .unwrap_or(0.0);
-                pa.total_cmp(&pb)
-                    .then_with(|| last_used(dfs, *a).cmp(&last_used(dfs, *b)))
-                    .then(a.cmp(b))
-            })
+        candidates.iter().copied().min_by(|a, b| {
+            let pa = dfs
+                .file_stats(*a)
+                .and_then(|s| self.predictor.predict(s, now))
+                .unwrap_or(0.0);
+            let pb = dfs
+                .file_stats(*b)
+                .and_then(|s| self.predictor.predict(s, now))
+                .unwrap_or(0.0);
+            pa.total_cmp(&pb)
+                .then_with(|| last_used(dfs, *a).cmp(&last_used(dfs, *b)))
+                .then(a.cmp(b))
+        })
     }
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
@@ -232,7 +229,10 @@ impl UpgradePolicy for XgbUpgrade {
         // Highest-probability candidate above the discrimination threshold.
         let mut best: Option<(FileId, f64)> = None;
         for f in self.mru_candidates(dfs, already) {
-            let Some(p) = dfs.file_stats(f).and_then(|s| self.predictor.predict(s, now)) else {
+            let Some(p) = dfs
+                .file_stats(f)
+                .and_then(|s| self.predictor.predict(s, now))
+            else {
                 continue;
             };
             if p <= self.cfg.xgb_threshold {

@@ -1,13 +1,13 @@
 //! Behavioural tests: each policy's selection logic against a live
 //! `TieredDfs`, and the engine loop's threshold semantics (Algorithm 1).
 
+use octo_access::LearnerConfig;
 use octo_common::{ByteSize, FileId, PerTier, SimDuration, SimTime, StorageTier};
 use octo_dfs::{DfsConfig, DowngradeTarget, TieredDfs};
 use octo_policies::{
     downgrade_policy, effective_utilization, upgrade_policy, DowngradePolicy, TieringConfig,
     TieringEngine,
 };
-use octo_access::LearnerConfig;
 use std::collections::BTreeSet;
 
 const MEM: StorageTier = StorageTier::Memory;
@@ -28,13 +28,21 @@ fn small_dfs() -> TieredDfs {
 }
 
 fn put(dfs: &mut TieredDfs, name: &str, mb: u64, now: SimTime) -> FileId {
-    let plan = dfs.create_file(&format!("/t/{name}"), ByteSize::mb(mb), now).unwrap();
+    let plan = dfs
+        .create_file(&format!("/t/{name}"), ByteSize::mb(mb), now)
+        .unwrap();
     dfs.commit_file(plan.file, now).unwrap();
     plan.file
 }
 
 fn mk_down(name: &str) -> Box<dyn DowngradePolicy> {
-    downgrade_policy(name, &TieringConfig::default(), &LearnerConfig::default(), 7).unwrap()
+    downgrade_policy(
+        name,
+        &TieringConfig::default(),
+        &LearnerConfig::default(),
+        7,
+    )
+    .unwrap()
 }
 
 /// Creates three files and touches them so that recency and frequency
@@ -92,7 +100,10 @@ fn lrfu_balances_recency_and_frequency() {
     let pick = p
         .select_file(&dfs, MEM, SimTime::from_secs(300), &BTreeSet::new())
         .unwrap();
-    assert_eq!(pick, b, "burst-accessed file outweighs a single later access");
+    assert_eq!(
+        pick, b,
+        "burst-accessed file outweighs a single later access"
+    );
 }
 
 #[test]
@@ -116,7 +127,8 @@ fn life_and_lfuf_prefer_files_outside_window() {
     dfs.record_access(old, SimTime::from_secs(10)).unwrap();
     let late = SimTime::from_secs(10 * 3600);
     for s in 0..3 {
-        dfs.record_access(new, late + SimDuration::from_secs(s)).unwrap();
+        dfs.record_access(new, late + SimDuration::from_secs(s))
+            .unwrap();
     }
     let now = late + SimDuration::from_mins(5);
     for name in ["life", "lfu-f"] {
@@ -147,7 +159,10 @@ fn engine_downgrades_until_stop_threshold() {
         files.push(put(&mut dfs, &format!("f{i}"), 120, SimTime::from_secs(i)));
     }
     let before = effective_utilization(&dfs, MEM);
-    assert!(before > 0.90, "memory should be past the start threshold: {before}");
+    assert!(
+        before > 0.90,
+        "memory should be past the start threshold: {before}"
+    );
 
     let mut engine = TieringEngine::new(Some(mk_down("lru")), None);
     let now = SimTime::from_secs(100);
@@ -178,8 +193,12 @@ fn engine_without_policies_does_nothing() {
         put(&mut dfs, &format!("f{i}"), 100, SimTime::from_secs(i));
     }
     let mut engine = TieringEngine::disabled();
-    assert!(engine.run_downgrade(&mut dfs, MEM, SimTime::from_secs(99)).is_empty());
-    assert!(engine.run_upgrade(&mut dfs, None, SimTime::from_secs(99)).is_empty());
+    assert!(engine
+        .run_downgrade(&mut dfs, MEM, SimTime::from_secs(99))
+        .is_empty());
+    assert!(engine
+        .run_upgrade(&mut dfs, None, SimTime::from_secs(99))
+        .is_empty());
     assert_eq!(engine.describe(), "down=none up=none");
 }
 
@@ -187,7 +206,8 @@ fn engine_without_policies_does_nothing() {
 fn osa_upgrades_accessed_file_once() {
     let mut dfs = small_dfs();
     // Force initial placement to HDD so there is something to upgrade.
-    dfs.placement_mut().restrict_initial_tiers(&[StorageTier::Hdd]);
+    dfs.placement_mut()
+        .restrict_initial_tiers(&[StorageTier::Hdd]);
     let f = put(&mut dfs, "f", 100, SimTime::ZERO);
     let now = SimTime::from_secs(10);
     dfs.record_access(f, now).unwrap();
@@ -210,7 +230,8 @@ fn osa_upgrades_accessed_file_once() {
 #[test]
 fn lrfu_upgrade_needs_weight_above_threshold() {
     let mut dfs = small_dfs();
-    dfs.placement_mut().restrict_initial_tiers(&[StorageTier::Hdd]);
+    dfs.placement_mut()
+        .restrict_initial_tiers(&[StorageTier::Hdd]);
     let f = put(&mut dfs, "f", 100, SimTime::ZERO);
     let learner = LearnerConfig::default();
     let cfg = TieringConfig::default();
@@ -236,8 +257,5 @@ fn lrfu_upgrade_needs_weight_above_threshold() {
 fn downgrade_target_defaults_to_auto() {
     let mut p = mk_down("lru");
     let dfs = small_dfs();
-    assert_eq!(
-        p.select_target(&dfs, FileId(0), MEM),
-        DowngradeTarget::Auto
-    );
+    assert_eq!(p.select_target(&dfs, FileId(0), MEM), DowngradeTarget::Auto);
 }

@@ -137,8 +137,7 @@ pub fn generate(cfg: &WorkloadConfig, seed: u64) -> Trace {
     let mut jobs: Vec<JobSpec> = Vec::new();
 
     for bin in SizeBin::ALL {
-        let n_jobs_bin =
-            ((cfg.jobs as f64) * cfg.bin_job_fraction[bin.index()]).round() as usize;
+        let n_jobs_bin = ((cfg.jobs as f64) * cfg.bin_job_fraction[bin.index()]).round() as usize;
         if n_jobs_bin == 0 {
             continue;
         }
@@ -177,7 +176,12 @@ pub fn generate(cfg: &WorkloadConfig, seed: u64) -> Trace {
             let first = SimTime::from_millis(rng.below(latest_start.max(1)));
             let lead = SimDuration::from_millis(rng.exponential(600_000.0).max(5_000.0) as u64);
             files.push(FileSpec {
-                path: format!("/data/{}/bin_{}/ds{:04}", cfg.kind.label(), bin.label(), file_idx),
+                path: format!(
+                    "/data/{}/bin_{}/ds{:04}",
+                    cfg.kind.label(),
+                    bin.label(),
+                    file_idx
+                ),
                 size,
                 created: first.saturating_sub(lead),
                 bin,
@@ -269,7 +273,10 @@ mod tests {
         let trace = generate(&cfg, 7);
         let counts = trace.jobs_per_bin();
         let total: usize = counts.iter().sum();
-        assert!((total as i64 - 800).unsigned_abs() < 120, "job count {total}");
+        assert!(
+            (total as i64 - 800).unsigned_abs() < 120,
+            "job count {total}"
+        );
         let frac_a = counts[0] as f64 / total as f64;
         assert!((frac_a - 0.634).abs() < 0.06, "bin A fraction {frac_a}");
     }

@@ -21,7 +21,11 @@ fn main() {
         let now = SimTime::from_millis(minute * 60_000);
         for f in 0..n {
             let hot = f % 2 == 0;
-            let due = if hot { minute % 10 == f % 10 } else { minute == f };
+            let due = if hot {
+                minute % 10 == f % 10
+            } else {
+                minute == f
+            };
             if due {
                 registry.on_access(FileId(f), now);
                 predictor.on_file_access(registry.get(FileId(f)).unwrap(), now);
@@ -53,10 +57,8 @@ fn main() {
     if let Some(model) = predictor.learner().model() {
         println!("\nfeature importance (gain):");
         let names = FeatureConfig::default().feature_names();
-        let mut imp: Vec<(String, f64)> = names
-            .into_iter()
-            .zip(model.feature_importance())
-            .collect();
+        let mut imp: Vec<(String, f64)> =
+            names.into_iter().zip(model.feature_importance()).collect();
         imp.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (name, gain) in imp.iter().take(5) {
             println!("  {name:<28} {gain:.3}");

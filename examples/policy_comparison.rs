@@ -10,7 +10,10 @@ use octopuspp::workload::TraceKind;
 
 fn main() {
     let settings = ExpSettings::quick(7);
-    println!("running {} scenarios on the FB workload...", main_scenarios().len() + 1);
+    println!(
+        "running {} scenarios on the FB workload...",
+        main_scenarios().len() + 1
+    );
     let mut scenarios = vec![Scenario::HdfsCache];
     scenarios.extend(main_scenarios());
     let outcomes = compare_scenarios(&settings, TraceKind::Facebook, &scenarios);
@@ -30,7 +33,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["policy", "avg completion gain", "avg efficiency gain", "HR", "BHR"],
+            &[
+                "policy",
+                "avg completion gain",
+                "avg efficiency gain",
+                "HR",
+                "BHR"
+            ],
             &rows
         )
     );
