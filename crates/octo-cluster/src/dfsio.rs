@@ -187,30 +187,20 @@ pub fn run_dfsio(cfg: &DfsioConfig) -> DfsioReport {
     }
 
     // Kick off: every worker starts writing a file at t=0.
-    for w in 0..n_workers {
-        let mut worker = std::mem::replace(
-            &mut workers[w],
-            Worker {
-                node: NodeId(w as u32),
-                current: Vec::new(),
-                file: None,
-                reading_idx: 0,
-            },
-        );
+    for (w, worker) in workers.iter_mut().enumerate() {
         begin_next_file(
             &mut dfs,
             &mut flows,
             &resources,
             &mut purposes,
             &mut flow_ids,
-            &mut worker,
+            worker,
             w,
             &mut next_file,
             total_files,
             cfg.file_size,
             SimTime::ZERO,
         );
-        workers[w] = worker;
     }
     queue.schedule(SimTime::from_secs(30), Event::Monitor);
     if let Some((t, v)) = flows.next_completion(SimTime::ZERO) {
@@ -266,9 +256,7 @@ pub fn run_dfsio(cfg: &DfsioConfig) -> DfsioReport {
                                 // HDFS cache directives: cache new files in
                                 // memory as they land, until memory fills.
                                 if cfg.scenario.caches_on_access() {
-                                    if let Ok(id) =
-                                        dfs.plan_cache_copy(file, StorageTier::Memory)
-                                    {
+                                    if let Ok(id) = dfs.plan_cache_copy(file, StorageTier::Memory) {
                                         schedule_transfer(
                                             &mut dfs,
                                             &mut flows,
@@ -382,21 +370,14 @@ pub fn run_dfsio(cfg: &DfsioConfig) -> DfsioReport {
         // Phase change: writes finished, start reading.
         if !reading_phase
             && next_file >= total_files
-            && workers.iter().all(|w| w.file.is_none() && w.current.is_empty())
+            && workers
+                .iter()
+                .all(|w| w.file.is_none() && w.current.is_empty())
             && transfer_blocks.is_empty()
         {
             reading_phase = true;
             read_phase_start = queue.now();
-            for widx in 0..n_workers {
-                let mut worker = std::mem::replace(
-                    &mut workers[widx],
-                    Worker {
-                        node: NodeId(widx as u32),
-                        current: Vec::new(),
-                        file: None,
-                        reading_idx: 0,
-                    },
-                );
+            for (widx, worker) in workers.iter_mut().enumerate() {
                 worker.reading_idx = widx;
                 start_next_read(
                     &mut dfs,
@@ -404,13 +385,12 @@ pub fn run_dfsio(cfg: &DfsioConfig) -> DfsioReport {
                     &resources,
                     &mut purposes,
                     &mut flow_ids,
-                    &mut worker,
+                    worker,
                     widx,
                     &files_written,
                     n_workers,
                     queue.now(),
                 );
-                workers[widx] = worker;
             }
         }
         if reading_phase && flows.active_flows() == 0 && transfer_blocks.is_empty() {

@@ -61,7 +61,9 @@ fn uncommitted_files_are_not_readable_or_movable() {
         .create_file("/tmp/writing", ByteSize::mb(64), SimTime::ZERO)
         .unwrap();
     assert!(fs.record_access(plan.file, SimTime::ZERO).is_err());
-    assert!(fs.plan_downgrade(plan.file, MEM, DowngradeTarget::Auto).is_err());
+    assert!(fs
+        .plan_downgrade(plan.file, MEM, DowngradeTarget::Auto)
+        .is_err());
     assert!(fs.delete_file(plan.file).is_err());
     // Space is reserved while writing.
     assert!(fs.tier_usage(MEM).0 > ByteSize::ZERO);
@@ -92,8 +94,7 @@ fn downgrade_moves_file_off_memory() {
         assert_eq!(fs.block_info(b).replicas().len(), 3);
     }
     assert_eq!(
-        *fs.movement_stats().downgraded_to.get(SSD)
-            + *fs.movement_stats().downgraded_to.get(HDD),
+        *fs.movement_stats().downgraded_to.get(SSD) + *fs.movement_stats().downgraded_to.get(HDD),
         ByteSize::mb(256)
     );
 }
@@ -154,7 +155,10 @@ fn drop_replicas_is_cache_eviction() {
     for &b in &fs.file_meta(f).unwrap().blocks {
         assert_eq!(fs.block_info(b).replicas().len(), 2, "one replica gone");
     }
-    assert_eq!(*fs.movement_stats().dropped_from.get(MEM), ByteSize::mb(128));
+    assert_eq!(
+        *fs.movement_stats().dropped_from.get(MEM),
+        ByteSize::mb(128)
+    );
     // The replication monitor now flags the under-replicated block.
     let report = fs.replication_report();
     assert_eq!(report.len(), 1);
@@ -233,7 +237,7 @@ fn out_of_capacity_create_rolls_back() {
         .create_file("/overflow", ByteSize::mb(200), SimTime::ZERO)
         .unwrap_err();
     assert_eq!(err.kind(), "out_of_capacity");
-    assert!(!fs.file_id("/overflow").is_ok());
+    assert!(fs.file_id("/overflow").is_err());
     assert_eq!(fs.file_count(), 3, "failed create leaves no residue");
 }
 

@@ -123,7 +123,12 @@ pub trait DowngradePolicy {
 
     /// Decision point 3: where the replicas go (default: let the placement
     /// policy choose among lower tiers, per §5.3).
-    fn select_target(&mut self, _dfs: &TieredDfs, _file: FileId, _from: StorageTier) -> DowngradeTarget {
+    fn select_target(
+        &mut self,
+        _dfs: &TieredDfs,
+        _file: FileId,
+        _from: StorageTier,
+    ) -> DowngradeTarget {
         DowngradeTarget::Auto
     }
 
@@ -160,12 +165,7 @@ pub trait UpgradePolicy {
     /// Decision point 1: should the upgrade process start? `accessed` is the
     /// file whose access triggered the invocation (absent on the periodic
     /// proactive invocation).
-    fn start_upgrade(
-        &mut self,
-        dfs: &TieredDfs,
-        accessed: Option<FileId>,
-        now: SimTime,
-    ) -> bool;
+    fn start_upgrade(&mut self, dfs: &TieredDfs, accessed: Option<FileId>, now: SimTime) -> bool;
 
     /// Decision points 2+3: next file to upgrade and its target tier.
     /// `already` holds files selected earlier in this run.
@@ -247,10 +247,7 @@ impl TieringEngine {
             return planned;
         }
         let mut skip = BTreeSet::new();
-        loop {
-            let Some(file) = policy.select_file(dfs, tier, now, &skip) else {
-                break;
-            };
+        while let Some(file) = policy.select_file(dfs, tier, now, &skip) {
             skip.insert(file);
             let target = policy.select_target(dfs, file, tier);
             if let Ok(id) = dfs.plan_downgrade(file, tier, target) {
@@ -280,10 +277,7 @@ impl TieringEngine {
         }
         let mut already = BTreeSet::new();
         let mut scheduled = ByteSize::ZERO;
-        loop {
-            let Some(choice) = policy.select_upgrade(dfs, accessed, now, &already) else {
-                break;
-            };
+        while let Some(choice) = policy.select_upgrade(dfs, accessed, now, &already) {
             already.insert(choice.file);
             if let Ok(id) = dfs.plan_upgrade(choice.file, choice.to) {
                 scheduled += dfs

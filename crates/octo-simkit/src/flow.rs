@@ -310,12 +310,7 @@ mod tests {
     fn single_flow_runs_at_capacity() {
         let mut m = FlowModel::new();
         let disk = m.add_resource(mbps(100.0));
-        m.start_flow(
-            SimTime::ZERO,
-            FlowId(0),
-            ByteSize::mb(200),
-            vec![disk],
-        );
+        m.start_flow(SimTime::ZERO, FlowId(0), ByteSize::mb(200), vec![disk]);
         assert_eq!(m.flow_state(FlowId(0)).unwrap().rate_bps, mbps(100.0));
         let done = run_to_completion(&mut m, SimTime::ZERO);
         assert_eq!(done.len(), 1);
@@ -462,10 +457,10 @@ mod tests {
             }
 
             // (2) no starvation + (3) each flow hits a saturated resource
-            for i in 0..paths.len() {
+            for (i, path) in paths.iter().enumerate() {
                 let st = m.flow_state(FlowId(i as u64)).unwrap();
                 prop_assert!(st.rate_bps > 0.0, "flow {i} starved");
-                let saturated = paths[i].iter().any(|x| {
+                let saturated = path.iter().any(|x| {
                     let r = rids[x % rids.len()];
                     m.utilization(r) > 1.0 - 1e-6
                 });

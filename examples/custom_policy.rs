@@ -9,7 +9,7 @@ use octopuspp::dfs::TieredDfs;
 use octopuspp::policies::{
     downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig,
 };
-use octopuspp::workload::{generate, TraceKind, WorkloadConfig};
+use octopuspp::workload::{generate, WorkloadConfig};
 use std::collections::BTreeSet;
 
 /// Evict the largest file first (SIZE policy from web caching).
@@ -69,7 +69,11 @@ fn main() {
     let mut created = Vec::new();
     for i in 0..400 {
         let path = format!("/demo/f{i}");
-        if let Ok(plan) = dfs.create_file(&path, ByteSize::mb(100 + (i % 5) * 300), SimTime::from_secs(i)) {
+        if let Ok(plan) = dfs.create_file(
+            &path,
+            ByteSize::mb(100 + (i % 5) * 300),
+            SimTime::from_secs(i),
+        ) {
             dfs.commit_file(plan.file, SimTime::from_secs(i)).unwrap();
             created.push(plan.file);
         }

@@ -4,9 +4,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use octopuspp::cluster::{run_trace, Scenario, SimConfig};
-use octopuspp::common::StorageTier;
-use octopuspp::workload::{generate, TraceKind, WorkloadConfig};
 use octopuspp::common::SimDuration;
+use octopuspp::common::StorageTier;
+use octopuspp::workload::{generate, WorkloadConfig};
 
 fn main() {
     // A small Facebook-flavoured workload: 200 jobs over 2 simulated hours.
