@@ -1,0 +1,265 @@
+//! Decision-epoch scalability bench (fig13-style sweep over file counts).
+//!
+//! Measures the wall time of one full Algorithm 1 downgrade epoch — the
+//! start check, victim selection per move, and the effective-utilization
+//! re-check after every scheduled move — at growing namespace sizes, for
+//! two implementations of the same policy (LRU):
+//!
+//! * **incremental** — the engine path: O(1) pending-byte counters and the
+//!   per-tier recency index (`TieredDfs::tier_recency_iter`);
+//! * **scan** — a faithful in-bench reimplementation of the original code:
+//!   `effective_utilization` as a full-namespace moving-replica scan and
+//!   victim selection as collect + min over every resident file, i.e.
+//!   O(files × moves) per epoch.
+//!
+//! Both must schedule the *same victims in the same order* (asserted), so
+//! the comparison is pure decision-path overhead. Results go to
+//! `BENCH_policy_epoch.json` (and stdout) as the baseline for future PRs:
+//!
+//! ```text
+//! OCTO_BENCH_MODE=quick cargo bench --bench policy_epoch
+//! ```
+
+use bench::banner;
+use octo_common::{ByteSize, FileId, PerTier, SimTime, StorageTier};
+use octo_dfs::{DfsConfig, DowngradeTarget, TieredDfs, TransferId};
+use octo_policies::{downgrade_policy, TieringConfig, TieringEngine};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+const MEM: StorageTier = StorageTier::Memory;
+
+fn quick_mode() -> bool {
+    std::env::var("OCTO_BENCH_MODE").as_deref() == Ok("quick")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// A cluster whose memory tier sits at ~93% after `files` 1 MB files, so
+/// the 90%/85% thresholds schedule ~8% of the namespace per epoch.
+fn filled_dfs(files: u64) -> TieredDfs {
+    let workers = 8u64;
+    let mem_per_node = ByteSize::mb(files.div_ceil(workers) * 100 / 93 + 2);
+    let mut dfs = TieredDfs::new(DfsConfig {
+        workers: workers as u32,
+        replication: 1,
+        block_size: ByteSize::mb(1),
+        tier_capacity: PerTier::from_fn(|t| match t {
+            StorageTier::Memory => mem_per_node,
+            StorageTier::Ssd => ByteSize::mb(files * 2 / workers + 64),
+            StorageTier::Hdd => ByteSize::gb(64),
+        }),
+        ..DfsConfig::default()
+    })
+    .expect("valid config");
+    for i in 0..files {
+        let now = SimTime::from_millis(i);
+        let plan = dfs
+            .create_file(&format!("/bench/f{i}"), ByteSize::mb(1), now)
+            .expect("memory sized to hold the namespace");
+        dfs.commit_file(plan.file, now).expect("fresh file");
+    }
+    assert!(
+        dfs.tier_utilization(MEM) > 0.90,
+        "setup must exceed the start threshold"
+    );
+    dfs
+}
+
+/// Undoes an epoch so the next measurement starts from identical state.
+fn rollback(dfs: &mut TieredDfs, planned: &[TransferId]) {
+    for &id in planned {
+        dfs.cancel_transfer(id).expect("planned in this epoch");
+    }
+}
+
+/// One epoch through the real engine (incremental counters + index).
+fn incremental_epoch(dfs: &mut TieredDfs, engine: &mut TieringEngine) -> Vec<TransferId> {
+    engine.run_downgrade(dfs, MEM, SimTime::from_secs(86_400))
+}
+
+/// The original scan implementation of `pending_outgoing`.
+fn scan_pending_outgoing(dfs: &TieredDfs, tier: StorageTier) -> ByteSize {
+    let mut total = ByteSize::ZERO;
+    for meta in dfs.iter_files() {
+        if meta.in_flight == 0 {
+            continue;
+        }
+        for &b in &meta.blocks {
+            for r in dfs.block_info(b).replicas() {
+                if r.moving && r.tier == tier {
+                    total += dfs.block_info(b).size;
+                }
+            }
+        }
+    }
+    total
+}
+
+fn scan_effective_utilization(dfs: &TieredDfs, tier: StorageTier) -> f64 {
+    let (committed, capacity) = dfs.tier_usage(tier);
+    committed
+        .saturating_sub(scan_pending_outgoing(dfs, tier))
+        .fraction_of(capacity)
+}
+
+/// The original LRU victim selection: collect every movable resident, take
+/// the minimum of `(last_used, id)`.
+fn scan_select_lru(dfs: &TieredDfs, tier: StorageTier, skip: &BTreeSet<FileId>) -> Option<FileId> {
+    let candidates: Vec<FileId> = dfs
+        .files_on_tier(tier)
+        .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
+        .collect();
+    candidates.into_iter().min_by_key(|f| {
+        let last = dfs
+            .file_stats(*f)
+            .map(|s| s.last_access().unwrap_or(s.created))
+            .unwrap_or(SimTime::ZERO);
+        (last, *f)
+    })
+}
+
+/// One epoch through the pre-refactor O(files × moves) algorithm.
+fn scan_epoch(dfs: &mut TieredDfs, cfg: &TieringConfig) -> Vec<TransferId> {
+    let mut planned = Vec::new();
+    if scan_effective_utilization(dfs, MEM) <= cfg.start_threshold {
+        return planned;
+    }
+    let mut skip = BTreeSet::new();
+    while let Some(file) = scan_select_lru(dfs, MEM, &skip) {
+        skip.insert(file);
+        if let Ok(id) = dfs.plan_downgrade(file, MEM, DowngradeTarget::Auto) {
+            planned.push(id);
+        }
+        if scan_effective_utilization(dfs, MEM) < cfg.stop_threshold {
+            break;
+        }
+    }
+    planned
+}
+
+struct Point {
+    files: u64,
+    moves: usize,
+    incremental_ms: f64,
+    scan_ms: f64,
+}
+
+fn measure(files: u64, reps: u32) -> Point {
+    let cfg = TieringConfig::default();
+    let mut dfs = filled_dfs(files);
+    let mut engine = TieringEngine::new(
+        Some(downgrade_policy("lru", &cfg, &Default::default(), 7).expect("lru exists")),
+        None,
+    );
+
+    // The two implementations must agree victim-for-victim.
+    let inc = incremental_epoch(&mut dfs, &mut engine);
+    let inc_victims: Vec<FileId> = inc
+        .iter()
+        .map(|id| dfs.transfer(*id).expect("in flight").file)
+        .collect();
+    rollback(&mut dfs, &inc);
+    let scan = scan_epoch(&mut dfs, &cfg);
+    let scan_victims: Vec<FileId> = scan
+        .iter()
+        .map(|id| dfs.transfer(*id).expect("in flight").file)
+        .collect();
+    rollback(&mut dfs, &scan);
+    assert_eq!(
+        inc_victims, scan_victims,
+        "index-based and scan-based epochs diverged at {files} files"
+    );
+    let moves = inc.len();
+
+    let mut incremental_ms = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let planned = incremental_epoch(&mut dfs, &mut engine);
+        incremental_ms += t.elapsed().as_secs_f64() * 1e3;
+        rollback(&mut dfs, &planned);
+    }
+    incremental_ms /= reps as f64;
+
+    // The scan epoch is orders of magnitude slower; one rep suffices.
+    let t = Instant::now();
+    let planned = scan_epoch(&mut dfs, &cfg);
+    let scan_ms = t.elapsed().as_secs_f64() * 1e3;
+    rollback(&mut dfs, &planned);
+
+    Point {
+        files,
+        moves,
+        incremental_ms,
+        scan_ms,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    banner(
+        "Policy decision-epoch scalability (fig13-style file-count sweep)",
+        "motivation: §3.2 Algorithms 1-2 re-check utilization and re-select \
+         after every move; decision cost must track moves, not files",
+    );
+    let counts: &[u64] = if quick {
+        &[1_000, 4_000, 16_000]
+    } else {
+        &[10_000, 40_000, 160_000]
+    };
+    let reps = if quick { 3 } else { 5 };
+
+    let points: Vec<Point> = counts.iter().map(|&n| measure(n, reps)).collect();
+
+    println!(
+        "\n{:>9} {:>7} {:>16} {:>12} {:>9} {:>14} {:>13}",
+        "files", "moves", "incremental(ms)", "scan(ms)", "speedup", "inc(us/move)", "scan(us/move)"
+    );
+    for p in &points {
+        println!(
+            "{:>9} {:>7} {:>16.3} {:>12.1} {:>8.1}x {:>14.2} {:>13.1}",
+            p.files,
+            p.moves,
+            p.incremental_ms,
+            p.scan_ms,
+            p.scan_ms / p.incremental_ms,
+            p.incremental_ms * 1e3 / p.moves as f64,
+            p.scan_ms * 1e3 / p.moves as f64,
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"policy_epoch\",\n  \"mode\": \"{}\",\n  \"policy\": \"lru\",\n  \"points\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"files\": {}, \"moves\": {}, \"incremental_epoch_ms\": {:.4}, \
+             \"scan_epoch_ms\": {:.4}, \"speedup\": {:.2}, \
+             \"incremental_us_per_move\": {:.3}, \"scan_us_per_move\": {:.3}}}{}\n",
+            p.files,
+            p.moves,
+            p.incremental_ms,
+            p.scan_ms,
+            p.scan_ms / p.incremental_ms,
+            p.incremental_ms * 1e3 / p.moves as f64,
+            p.scan_ms * 1e3 / p.moves as f64,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Default to the workspace root (cargo runs benches from the package
+    // dir); overridable for CI artifact staging.
+    let out = std::env::var("OCTO_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_policy_epoch.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_policy_epoch.json");
+    println!("\nwrote {out}");
+
+    let last = points.last().expect("non-empty sweep");
+    assert!(
+        last.scan_ms / last.incremental_ms >= 5.0,
+        "expected >=5x speedup at the largest file count, got {:.1}x",
+        last.scan_ms / last.incremental_ms
+    );
+}

@@ -111,6 +111,9 @@ struct TaskRt {
     size: ByteSize,
 }
 
+/// `(bytes, source device, destination device)` of one in-flight block move.
+type MovingBlock = (ByteSize, (NodeId, StorageTier), (NodeId, StorageTier));
+
 #[derive(Debug)]
 struct JobRt {
     spec: usize,
@@ -286,12 +289,15 @@ impl<'t> ClusterSim<'t> {
         self.execute_transfers(planned, now);
 
         // One map task per block.
-        let blocks = self.dfs.file_meta(file).expect("live input").blocks.clone();
-        let tasks: Vec<TaskRt> = blocks
+        let tasks: Vec<TaskRt> = self
+            .dfs
+            .file_meta(file)
+            .expect("live input")
+            .blocks
             .iter()
-            .map(|b| TaskRt {
-                block: *b,
-                size: self.dfs.block_info(*b).size,
+            .map(|&b| TaskRt {
+                block: b,
+                size: self.dfs.block_info(b).size,
             })
             .collect();
         let job_idx = self.jobs.len();
@@ -538,11 +544,19 @@ impl<'t> ClusterSim<'t> {
 
     fn execute_transfers(&mut self, planned: Vec<TransferId>, now: SimTime) {
         for id in planned {
-            let transfer = self.dfs.transfer(id).expect("just planned").clone();
-            let moving: Vec<_> = transfer
+            // Extract only what the flows need instead of cloning the whole
+            // transfer (with its per-block action list) for each plan.
+            let moving: Vec<MovingBlock> = self
+                .dfs
+                .transfer(id)
+                .expect("just planned")
                 .blocks
                 .iter()
                 .filter(|bt| bt.action.moves_bytes())
+                .map(|bt| {
+                    let dst = bt.action.destination().expect("moving actions land");
+                    (bt.size, bt.action.source(), dst)
+                })
                 .collect();
             if moving.is_empty() {
                 // Pure drops apply instantly.
@@ -550,12 +564,10 @@ impl<'t> ClusterSim<'t> {
                 continue;
             }
             self.transfer_blocks.insert(id, moving.len());
-            for bt in moving {
-                let src = bt.action.source();
-                let dst = bt.action.destination().expect("moving actions land");
+            for (size, src, dst) in moving {
                 let fid = FlowId(self.flow_ids.next_raw());
                 let path = self.resources.transfer_path(src, dst);
-                self.flows.start_flow(now, fid, bt.size, path);
+                self.flows.start_flow(now, fid, size, path);
                 self.flow_purpose
                     .insert(fid, FlowPurpose::TransferBlock { id });
             }

@@ -23,6 +23,7 @@ use crate::files::{FileMeta, FileState, FileTable};
 use crate::namespace::{Entry, Namespace};
 use crate::node::NodeManager;
 use crate::placement::{PlacementPolicy, PlacementWeights};
+use crate::recency::RecencyIndex;
 use crate::replication::{
     BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind, TransferTable,
 };
@@ -70,6 +71,7 @@ pub struct TieredDfs {
     blocks: BlockManager,
     nodes: NodeManager,
     stats: StatsRegistry,
+    recency: RecencyIndex,
     placement: PlacementPolicy,
     transfers: TransferTable,
 }
@@ -88,6 +90,7 @@ impl TieredDfs {
         Ok(TieredDfs {
             nodes: NodeManager::new(&config),
             stats: StatsRegistry::new(config.access_history),
+            recency: RecencyIndex::new(),
             ns: Namespace::new(),
             files: FileTable::new(),
             blocks: BlockManager::new(),
@@ -191,19 +194,22 @@ impl TieredDfs {
             return Err(OctoError::InvalidState(format!("{file} already committed")));
         }
         let size = meta.size;
-        let block_ids = meta.blocks.clone();
-        for b in block_ids {
+        for &b in &meta.blocks {
             let info = self.blocks.block(b);
             let bsize = info.size;
-            let replicas: Vec<(NodeId, StorageTier)> =
-                info.replicas().iter().map(|r| (r.node, r.tier)).collect();
-            for (node, tier) in replicas {
-                self.nodes.commit_reserved(node, tier, bsize);
+            for r in info.replicas() {
+                self.nodes.commit_reserved(r.node, r.tier, bsize);
             }
         }
         let meta = self.files.get_mut(file).expect("checked above");
         meta.state = FileState::Complete;
         self.stats.on_create(file, size, now);
+        self.recency.insert(file, now);
+        for tier in StorageTier::ALL {
+            if self.blocks.file_on_tier(file, tier) {
+                self.recency.set_resident(file, tier, true);
+            }
+        }
         Ok(())
     }
 
@@ -217,6 +223,7 @@ impl TieredDfs {
             return Err(OctoError::InvalidState(format!("{file} is still writing")));
         }
         self.stats.on_access(file, now);
+        self.recency.touch(file, now);
         Ok(())
     }
 
@@ -235,19 +242,18 @@ impl TieredDfs {
         if meta.state != FileState::Complete {
             return Err(OctoError::InvalidState(format!("{file} is still writing")));
         }
-        let path = meta.path.clone();
-        let block_ids = meta.blocks.clone();
         let mut freed = ByteSize::ZERO;
-        for b in block_ids {
+        for &b in &meta.blocks {
             let size = self.blocks.block(b).size;
             for replica in self.blocks.delete_block(b) {
                 self.nodes.free_used(replica.node, replica.tier, size);
                 freed += size;
             }
         }
-        self.ns.delete(&path, false)?;
+        self.ns.delete(&meta.path, false)?;
         self.files.remove(file);
         self.stats.on_delete(file);
+        self.recency.remove(file);
         Ok(freed)
     }
 
@@ -274,6 +280,13 @@ impl TieredDfs {
     /// True if the policy may schedule a transfer for `file` right now.
     pub fn is_movable(&self, file: FileId) -> bool {
         self.movable_file(file).is_ok()
+    }
+
+    /// The `i`-th block of a live file, if both exist. Lets the planning
+    /// loops walk a file's blocks without cloning the block list while
+    /// they mutate reservation state.
+    fn nth_block(&self, file: FileId, i: usize) -> Option<BlockId> {
+        self.files.get(file).and_then(|m| m.blocks.get(i).copied())
     }
 
     fn finish_plan(
@@ -314,10 +327,11 @@ impl TieredDfs {
         from_tier: StorageTier,
         target: DowngradeTarget,
     ) -> Result<TransferId> {
-        let meta = self.movable_file(file)?;
-        let block_ids = meta.blocks.clone();
+        self.movable_file(file)?;
         let mut actions: Vec<BlockTransfer> = Vec::new();
-        for b in block_ids {
+        let mut i = 0;
+        while let Some(b) = self.nth_block(file, i) {
+            i += 1;
             let info = self.blocks.block(b);
             let Some(rep) = info.replica_on_tier(from_tier) else {
                 continue;
@@ -372,11 +386,12 @@ impl TieredDfs {
     /// replica there, its lowest-tier replica is moved up. All-or-nothing:
     /// if any block cannot be placed, the whole plan is abandoned.
     pub fn plan_upgrade(&mut self, file: FileId, to_tier: StorageTier) -> Result<TransferId> {
-        let meta = self.movable_file(file)?;
-        let block_ids = meta.blocks.clone();
+        self.movable_file(file)?;
         let mut actions: Vec<BlockTransfer> = Vec::new();
         let mut fully_present = true;
-        for b in block_ids {
+        let mut i = 0;
+        while let Some(b) = self.nth_block(file, i) {
+            i += 1;
             let info = self.blocks.block(b);
             if info.replica_on_tier(to_tier).is_some() {
                 continue;
@@ -433,11 +448,12 @@ impl TieredDfs {
     /// Plans HDFS-cache style caching: an *additional* replica of every
     /// block on `tier`, leaving existing replicas in place. All-or-nothing.
     pub fn plan_cache_copy(&mut self, file: FileId, tier: StorageTier) -> Result<TransferId> {
-        let meta = self.movable_file(file)?;
-        let block_ids = meta.blocks.clone();
+        self.movable_file(file)?;
         let mut actions: Vec<BlockTransfer> = Vec::new();
         let mut fully_present = true;
-        for b in block_ids {
+        let mut i = 0;
+        while let Some(b) = self.nth_block(file, i) {
+            i += 1;
             let info = self.blocks.block(b);
             if info.replica_on_tier(tier).is_some() {
                 continue;
@@ -484,10 +500,11 @@ impl TieredDfs {
     /// Plans deleting every replica of `file` on `tier` (cache eviction —
     /// no data moves).
     pub fn plan_drop_replicas(&mut self, file: FileId, tier: StorageTier) -> Result<TransferId> {
-        let meta = self.movable_file(file)?;
-        let block_ids = meta.blocks.clone();
+        self.movable_file(file)?;
         let mut actions = Vec::new();
-        for b in block_ids {
+        let mut i = 0;
+        while let Some(b) = self.nth_block(file, i) {
+            i += 1;
             let info = self.blocks.block(b);
             if let Some(rep) = info.replica_on_tier(tier) {
                 actions.push(BlockTransfer {
@@ -536,6 +553,11 @@ impl TieredDfs {
             .get_mut(t.file)
             .expect("files with transfers in flight cannot be deleted");
         meta.in_flight -= 1;
+        // Replicas changed tiers: re-sync the file's recency-index residency.
+        for tier in StorageTier::ALL {
+            self.recency
+                .set_resident(t.file, tier, self.blocks.file_on_tier(t.file, tier));
+        }
         Ok(t)
     }
 
@@ -596,8 +618,53 @@ impl TieredDfs {
     }
 
     /// Files with at least one block replica on `tier`, ascending by id.
-    pub fn files_on_tier(&self, tier: StorageTier) -> Vec<FileId> {
-        self.blocks.files_on_tier(tier).collect()
+    /// Borrows the block manager's per-tier resident set — no allocation.
+    pub fn files_on_tier(&self, tier: StorageTier) -> impl Iterator<Item = FileId> + '_ {
+        self.blocks.files_on_tier(tier)
+    }
+
+    /// Committed files with at least one block replica on `tier`, least
+    /// recently used first (ties ascending by id). An index range-walk:
+    /// each step is O(1) amortized, no sorting, no allocation.
+    pub fn tier_recency_iter(
+        &self,
+        tier: StorageTier,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.recency.tier_iter(tier)
+    }
+
+    /// Like [`TieredDfs::tier_recency_iter`], resuming strictly after
+    /// `after` (an entry a previous walk returned): an O(log n) seek into
+    /// the index instead of a re-walk of the consumed prefix.
+    pub fn tier_recency_iter_after(
+        &self,
+        tier: StorageTier,
+        after: Option<(SimTime, FileId)>,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.recency.tier_iter_after(tier, after)
+    }
+
+    /// All committed files, most recently used first (ties ascending by
+    /// id) — the MRU ordering the upgrade policies walk.
+    pub fn mru_recency_iter(&self) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.recency.mru_iter()
+    }
+
+    /// The incrementally-maintained recency index (diagnostics/tests).
+    pub fn recency(&self) -> &RecencyIndex {
+        &self.recency
+    }
+
+    /// Bytes currently scheduled to move off or be dropped from `tier`.
+    /// Maintained incrementally at transfer plan/complete/cancel time: O(1).
+    pub fn pending_outgoing(&self, tier: StorageTier) -> ByteSize {
+        self.transfers.pending_outgoing(tier)
+    }
+
+    /// Bytes currently reserved to land on `tier` by in-flight transfers.
+    /// Maintained incrementally at transfer plan/complete/cancel time: O(1).
+    pub fn pending_incoming(&self, tier: StorageTier) -> ByteSize {
+        self.transfers.pending_incoming(tier)
     }
 
     /// True if `file` has at least one block replica on `tier`.
@@ -670,22 +737,20 @@ impl TieredDfs {
     }
 
     /// Replication monitor report: blocks whose replica count deviates from
-    /// the configured factor (only meaningful for committed files).
-    pub fn replication_report(&self) -> Vec<(BlockId, usize, usize)> {
+    /// the configured factor (only meaningful for committed files). Lazy:
+    /// the monitor tick streams the deviations without materializing a
+    /// fresh `Vec` per invocation.
+    pub fn replication_report(&self) -> impl Iterator<Item = (BlockId, usize, usize)> + '_ {
         let target = self.config.replication as usize;
-        let mut deviations = Vec::new();
-        for meta in self.files.iter() {
-            if meta.state != FileState::Complete {
-                continue;
-            }
-            for &b in &meta.blocks {
-                let n = self.blocks.block(b).replicas().len();
-                if n != target {
-                    deviations.push((b, n, target));
-                }
-            }
-        }
-        deviations
+        self.files
+            .iter()
+            .filter(|meta| meta.state == FileState::Complete)
+            .flat_map(move |meta| {
+                meta.blocks
+                    .iter()
+                    .map(move |&b| (b, self.blocks.block(b).replicas().len(), target))
+            })
+            .filter(|&(_, n, target)| n != target)
     }
 
     /// Approximate bytes of per-file statistics bookkeeping (§7.7).

@@ -14,6 +14,9 @@
 //!   space accounting.
 //! * [`stats::StatsRegistry`] — per-file access statistics (last *k*
 //!   accesses) feeding both classic policies and the ML feature pipeline.
+//! * [`recency::RecencyIndex`] — incrementally-maintained per-tier and
+//!   global recency orderings, so LRU/MRU candidate selection is an index
+//!   walk instead of a collect-and-sort over the namespace.
 //! * [`placement::PlacementPolicy`] — the multi-objective placement of
 //!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
 //! * [`replication`] — transfer plans and movement statistics.
@@ -30,6 +33,7 @@ pub mod files;
 pub mod namespace;
 pub mod node;
 pub mod placement;
+pub mod recency;
 pub mod replication;
 pub mod stats;
 
@@ -40,6 +44,7 @@ pub use files::{FileMeta, FileState, FileTable};
 pub use namespace::{Entry, Namespace};
 pub use node::{Device, NodeManager};
 pub use placement::{PlacementPolicy, PlacementWeights};
+pub use recency::RecencyIndex;
 pub use replication::{
     BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind,
 };

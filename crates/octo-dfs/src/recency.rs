@@ -1,0 +1,229 @@
+//! Incrementally-maintained recency indexes over committed files.
+//!
+//! Downgrade policies repeatedly ask "least-recently-used file on this
+//! tier"; upgrade policies ask "most-recently-used files anywhere". Both
+//! used to be answered by collecting every resident file and sorting —
+//! O(n log n) per scheduled move. [`RecencyIndex`] keeps the answer
+//! materialized instead:
+//!
+//! * one `BTreeSet<(last_used, file)>` per tier, covering the committed
+//!   files with at least one block replica on that tier, so an LRU walk is
+//!   an in-order range scan;
+//! * one global set over all committed files, keyed `(last_used,
+//!   Reverse(file))` so a *reverse* walk yields MRU order with ascending
+//!   `FileId` tie-breaks — exactly the ordering the scan-based code
+//!   produced with `sort_by_key(|f| (Reverse(last_used), f))`.
+//!
+//! "Last used" is a file's most recent access, or its commit time while it
+//! has never been read — the same notion every policy derives from
+//! [`crate::stats::AccessStats`]. The index is updated by [`TieredDfs`]
+//! (commit, access, delete, transfer completion), never read from stats, so
+//! a property test can cross-check it against a from-scratch recomputation.
+//!
+//! [`TieredDfs`]: crate::TieredDfs
+
+use octo_common::{FileId, PerTier, SimTime, StorageTier};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-tier and global recency orderings over committed files.
+#[derive(Debug, Clone, Default)]
+pub struct RecencyIndex {
+    /// Authoritative last-used instant per tracked (committed) file.
+    last_used: HashMap<FileId, SimTime>,
+    /// `(last_used, file)` for files with >= 1 block replica on the tier.
+    per_tier: PerTier<BTreeSet<(SimTime, FileId)>>,
+    /// `(last_used, Reverse(file))` over all tracked files.
+    global: BTreeSet<(SimTime, Reverse<FileId>)>,
+}
+
+impl RecencyIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts tracking a freshly committed file. Tier residency is reported
+    /// separately through [`RecencyIndex::set_resident`].
+    pub fn insert(&mut self, file: FileId, now: SimTime) {
+        debug_assert!(
+            !self.last_used.contains_key(&file),
+            "{file} already tracked"
+        );
+        self.last_used.insert(file, now);
+        self.global.insert((now, Reverse(file)));
+    }
+
+    /// Moves a file to the front of every ordering it participates in.
+    pub fn touch(&mut self, file: FileId, now: SimTime) {
+        let Some(prev) = self.last_used.insert(file, now) else {
+            debug_assert!(false, "touch for untracked {file}");
+            return;
+        };
+        self.global.remove(&(prev, Reverse(file)));
+        self.global.insert((now, Reverse(file)));
+        for tier in StorageTier::ALL {
+            let set = self.per_tier.get_mut(tier);
+            if set.remove(&(prev, file)) {
+                set.insert((now, file));
+            }
+        }
+    }
+
+    /// Forgets a deleted file everywhere.
+    pub fn remove(&mut self, file: FileId) {
+        let Some(prev) = self.last_used.remove(&file) else {
+            return;
+        };
+        self.global.remove(&(prev, Reverse(file)));
+        for tier in StorageTier::ALL {
+            self.per_tier.get_mut(tier).remove(&(prev, file));
+        }
+    }
+
+    /// Declares whether `file` currently holds a replica on `tier`
+    /// (idempotent; called after replica placement changes).
+    pub fn set_resident(&mut self, file: FileId, tier: StorageTier, resident: bool) {
+        let Some(&t) = self.last_used.get(&file) else {
+            debug_assert!(!resident, "set_resident for untracked {file}");
+            return;
+        };
+        let set = self.per_tier.get_mut(tier);
+        if resident {
+            set.insert((t, file));
+        } else {
+            set.remove(&(t, file));
+        }
+    }
+
+    /// The tracked last-used instant of a file, if committed.
+    pub fn last_used(&self, file: FileId) -> Option<SimTime> {
+        self.last_used.get(&file).copied()
+    }
+
+    /// Files resident on `tier`, least recently used first; ties break on
+    /// ascending `FileId`.
+    pub fn tier_iter(&self, tier: StorageTier) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.per_tier.get(tier).iter().copied()
+    }
+
+    /// Like [`RecencyIndex::tier_iter`], but resuming strictly after a
+    /// previously-returned entry — an O(log n) range seek, so a caller
+    /// consuming the LRU order incrementally (one victim per call) does not
+    /// re-walk the prefix it has already exhausted.
+    pub fn tier_iter_after(
+        &self,
+        tier: StorageTier,
+        after: Option<(SimTime, FileId)>,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(entry) => Bound::Excluded(entry),
+            None => Bound::Unbounded,
+        };
+        self.per_tier
+            .get(tier)
+            .range((lower, Bound::Unbounded))
+            .copied()
+    }
+
+    /// All committed files, most recently used first; ties break on
+    /// ascending `FileId`.
+    pub fn mru_iter(&self) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.global.iter().rev().map(|&(t, Reverse(f))| (t, f))
+    }
+
+    /// Number of files resident on `tier` (diagnostics and tests).
+    pub fn tier_len(&self, tier: StorageTier) -> usize {
+        self.per_tier.get(tier).len()
+    }
+
+    /// Number of tracked files (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.last_used.len()
+    }
+
+    /// True when no file is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_used.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: StorageTier = StorageTier::Memory;
+    const SSD: StorageTier = StorageTier::Ssd;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn tier_walk_is_lru_with_id_tiebreak() {
+        let mut idx = RecencyIndex::new();
+        for (id, at) in [(3u64, 10u64), (1, 10), (2, 5)] {
+            idx.insert(FileId(id), t(at));
+            idx.set_resident(FileId(id), MEM, true);
+        }
+        let order: Vec<u64> = idx.tier_iter(MEM).map(|(_, f)| f.raw()).collect();
+        assert_eq!(order, vec![2, 1, 3], "oldest first, then ascending id");
+    }
+
+    #[test]
+    fn mru_walk_breaks_ties_ascending() {
+        let mut idx = RecencyIndex::new();
+        for (id, at) in [(3u64, 10u64), (1, 10), (2, 50)] {
+            idx.insert(FileId(id), t(at));
+        }
+        let order: Vec<u64> = idx.mru_iter().map(|(_, f)| f.raw()).collect();
+        assert_eq!(order, vec![2, 1, 3], "newest first, ties ascending id");
+    }
+
+    #[test]
+    fn touch_moves_through_all_orderings() {
+        let mut idx = RecencyIndex::new();
+        idx.insert(FileId(0), t(0));
+        idx.insert(FileId(1), t(1));
+        idx.set_resident(FileId(0), MEM, true);
+        idx.set_resident(FileId(1), MEM, true);
+        idx.touch(FileId(0), t(99));
+        let order: Vec<u64> = idx.tier_iter(MEM).map(|(_, f)| f.raw()).collect();
+        assert_eq!(order, vec![1, 0]);
+        let mru: Vec<u64> = idx.mru_iter().map(|(_, f)| f.raw()).collect();
+        assert_eq!(mru, vec![0, 1]);
+        assert_eq!(idx.last_used(FileId(0)), Some(t(99)));
+    }
+
+    #[test]
+    fn residency_changes_track_transfers() {
+        let mut idx = RecencyIndex::new();
+        idx.insert(FileId(7), t(3));
+        idx.set_resident(FileId(7), MEM, true);
+        assert_eq!(idx.tier_len(MEM), 1);
+        // Downgrade landed: off memory, onto SSD.
+        idx.set_resident(FileId(7), MEM, false);
+        idx.set_resident(FileId(7), SSD, true);
+        assert_eq!(idx.tier_len(MEM), 0);
+        assert_eq!(idx.tier_iter(SSD).count(), 1);
+        // Idempotent re-assertion is fine.
+        idx.set_resident(FileId(7), SSD, true);
+        assert_eq!(idx.tier_len(SSD), 1);
+    }
+
+    #[test]
+    fn remove_clears_everything() {
+        let mut idx = RecencyIndex::new();
+        idx.insert(FileId(0), t(0));
+        idx.set_resident(FileId(0), MEM, true);
+        idx.remove(FileId(0));
+        assert!(idx.is_empty());
+        assert_eq!(idx.tier_len(MEM), 0);
+        assert_eq!(idx.mru_iter().count(), 0);
+        assert_eq!(idx.last_used(FileId(0)), None);
+        // Removing twice is a no-op.
+        idx.remove(FileId(0));
+        assert_eq!(idx.len(), 0);
+    }
+}

@@ -132,11 +132,22 @@ pub struct MovementStats {
 }
 
 /// Table of in-flight transfers.
+///
+/// Besides the transfers themselves the table incrementally maintains the
+/// per-tier *pending* byte counters the tiering policies consult on every
+/// decision: bytes scheduled to leave a tier (Move/Drop sources) and bytes
+/// reserved to land on one (Move/Copy destinations). Counters are bumped at
+/// plan time and settled at completion/cancellation, so reading them is
+/// O(1) instead of a namespace scan.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TransferTable {
     next_id: u64,
     active: HashMap<TransferId, Transfer>,
     stats: MovementStats,
+    /// Bytes scheduled to move off or be dropped from each tier.
+    pending_outgoing: PerTier<ByteSize>,
+    /// Bytes reserved to land on each tier by in-flight transfers.
+    pending_incoming: PerTier<ByteSize>,
 }
 
 impl TransferTable {
@@ -154,6 +165,20 @@ impl TransferTable {
     ) -> TransferId {
         let id = TransferId(self.next_id);
         self.next_id += 1;
+        for bt in &blocks {
+            match bt.action {
+                BlockAction::Move { from, to } => {
+                    *self.pending_outgoing.get_mut(from.1) += bt.size;
+                    *self.pending_incoming.get_mut(to.1) += bt.size;
+                }
+                BlockAction::Copy { to, .. } => {
+                    *self.pending_incoming.get_mut(to.1) += bt.size;
+                }
+                BlockAction::Drop { from } => {
+                    *self.pending_outgoing.get_mut(from.1) += bt.size;
+                }
+            }
+        }
         self.active.insert(
             id,
             Transfer {
@@ -166,6 +191,38 @@ impl TransferTable {
         id
     }
 
+    /// Settles the pending counters of a transfer leaving the table.
+    fn release_pending(&mut self, t: &Transfer) {
+        for bt in &t.blocks {
+            match bt.action {
+                BlockAction::Move { from, to } => {
+                    let out = self.pending_outgoing.get_mut(from.1);
+                    *out = out.saturating_sub(bt.size);
+                    let inc = self.pending_incoming.get_mut(to.1);
+                    *inc = inc.saturating_sub(bt.size);
+                }
+                BlockAction::Copy { to, .. } => {
+                    let inc = self.pending_incoming.get_mut(to.1);
+                    *inc = inc.saturating_sub(bt.size);
+                }
+                BlockAction::Drop { from } => {
+                    let out = self.pending_outgoing.get_mut(from.1);
+                    *out = out.saturating_sub(bt.size);
+                }
+            }
+        }
+    }
+
+    /// Bytes currently scheduled to move off or be dropped from `tier`.
+    pub fn pending_outgoing(&self, tier: StorageTier) -> ByteSize {
+        *self.pending_outgoing.get(tier)
+    }
+
+    /// Bytes currently reserved to land on `tier` by in-flight transfers.
+    pub fn pending_incoming(&self, tier: StorageTier) -> ByteSize {
+        *self.pending_incoming.get(tier)
+    }
+
     /// The in-flight transfer with this id.
     pub fn get(&self, id: TransferId) -> Option<&Transfer> {
         self.active.get(&id)
@@ -174,6 +231,7 @@ impl TransferTable {
     /// Removes a transfer at completion, recording its statistics.
     pub fn complete(&mut self, id: TransferId) -> Option<Transfer> {
         let t = self.active.remove(&id)?;
+        self.release_pending(&t);
         self.stats.transfers_completed += 1;
         for b in &t.blocks {
             match b.action {
@@ -195,6 +253,7 @@ impl TransferTable {
     /// Removes a transfer that was cancelled.
     pub fn cancel(&mut self, id: TransferId) -> Option<Transfer> {
         let t = self.active.remove(&id)?;
+        self.release_pending(&t);
         self.stats.transfers_cancelled += 1;
         Some(t)
     }
@@ -285,6 +344,47 @@ mod tests {
         );
         table.complete(up).unwrap();
         assert_eq!(*table.stats().upgraded_to.get(MEM), ByteSize::mb(256));
+    }
+
+    #[test]
+    fn pending_counters_track_plan_complete_cancel() {
+        let mut table = TransferTable::new();
+        let id = table.insert(
+            FileId(0),
+            TransferKind::Downgrade,
+            vec![
+                mv(0, 128), // MEM -> SSD
+                BlockTransfer {
+                    block: BlockId(1),
+                    size: ByteSize::mb(64),
+                    action: BlockAction::Drop {
+                        from: (NodeId(1), MEM),
+                    },
+                },
+                BlockTransfer {
+                    block: BlockId(2),
+                    size: ByteSize::mb(32),
+                    action: BlockAction::Copy {
+                        from: (NodeId(0), StorageTier::Hdd),
+                        to: (NodeId(1), SSD),
+                    },
+                },
+            ],
+        );
+        assert_eq!(table.pending_outgoing(MEM), ByteSize::mb(192), "move+drop");
+        assert_eq!(table.pending_incoming(SSD), ByteSize::mb(160), "move+copy");
+        assert_eq!(table.pending_outgoing(SSD), ByteSize::ZERO);
+        assert_eq!(table.pending_incoming(MEM), ByteSize::ZERO);
+
+        table.complete(id).unwrap();
+        assert_eq!(table.pending_outgoing(MEM), ByteSize::ZERO);
+        assert_eq!(table.pending_incoming(SSD), ByteSize::ZERO);
+
+        let id2 = table.insert(FileId(1), TransferKind::Downgrade, vec![mv(3, 10)]);
+        assert_eq!(table.pending_outgoing(MEM), ByteSize::mb(10));
+        table.cancel(id2).unwrap();
+        assert_eq!(table.pending_outgoing(MEM), ByteSize::ZERO);
+        assert_eq!(table.pending_incoming(SSD), ByteSize::ZERO);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Property test: the incrementally-maintained per-tier pending counters
+//! and recency indexes exactly equal values recomputed from scratch, after
+//! an arbitrary interleaving of creates / accesses / transfer plans /
+//! completions / cancellations / deletes.
+//!
+//! The oracles below are the original O(files × blocks) scan
+//! implementations the incremental state replaced (`pending_outgoing` from
+//! `octo-policies`' framework, and the collect-and-sort recency orderings);
+//! they are kept here, test-only, as the ground truth.
+
+use octo_common::{ByteSize, FileId, PerTier, SimTime, StorageTier};
+use octo_dfs::{DfsConfig, DowngradeTarget, FileState, TieredDfs, TransferId};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+const TIERS: [StorageTier; 3] = StorageTier::ALL;
+
+fn small_dfs() -> TieredDfs {
+    TieredDfs::new(DfsConfig {
+        workers: 3,
+        replication: 2,
+        tier_capacity: PerTier::from_fn(|t| match t {
+            StorageTier::Memory => ByteSize::gb(2),
+            StorageTier::Ssd => ByteSize::gb(8),
+            StorageTier::Hdd => ByteSize::gb(32),
+        }),
+        ..DfsConfig::default()
+    })
+    .expect("valid config")
+}
+
+/// The scan `pending_outgoing` ran before the counters existed: every
+/// in-flight file's replicas flagged `moving` on the tier.
+fn scan_pending_outgoing(dfs: &TieredDfs, tier: StorageTier) -> ByteSize {
+    let mut total = ByteSize::ZERO;
+    for meta in dfs.iter_files() {
+        if meta.in_flight == 0 {
+            continue;
+        }
+        for &b in &meta.blocks {
+            for r in dfs.block_info(b).replicas() {
+                if r.moving && r.tier == tier {
+                    total += dfs.block_info(b).size;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// From-scratch incoming bytes: destinations of the still-active transfers.
+fn scan_pending_incoming(dfs: &TieredDfs, flights: &[TransferId], tier: StorageTier) -> ByteSize {
+    let mut total = ByteSize::ZERO;
+    for &id in flights {
+        let t = dfs.transfer(id).expect("tracked transfers are in flight");
+        for bt in &t.blocks {
+            if let Some((_, to_tier)) = bt.action.destination() {
+                if to_tier == tier {
+                    total += bt.size;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// The policies' notion of "last used": last access, or creation time.
+fn last_used_oracle(dfs: &TieredDfs, f: FileId) -> SimTime {
+    dfs.file_stats(f)
+        .map(|s| s.last_access().unwrap_or(s.created))
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// From-scratch LRU ordering of the committed files on a tier.
+fn scan_tier_lru(dfs: &TieredDfs, tier: StorageTier) -> Vec<(SimTime, FileId)> {
+    let mut v: Vec<(SimTime, FileId)> = dfs
+        .iter_files()
+        .filter(|m| m.state == FileState::Complete && dfs.file_on_tier(m.id, tier))
+        .map(|m| (last_used_oracle(dfs, m.id), m.id))
+        .collect();
+    v.sort();
+    v
+}
+
+/// From-scratch MRU ordering over all committed files (descending last
+/// used, ascending id on ties) — the ordering the upgrade policies walk.
+fn scan_global_mru(dfs: &TieredDfs) -> Vec<(SimTime, FileId)> {
+    let mut v: Vec<(SimTime, FileId)> = dfs
+        .iter_files()
+        .filter(|m| m.state == FileState::Complete)
+        .map(|m| (last_used_oracle(dfs, m.id), m.id))
+        .collect();
+    v.sort_by_key(|&(t, f)| (Reverse(t), f));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn incremental_state_matches_scan_oracles(
+        ops in proptest::collection::vec((0u8..10, 0u64..1_000_000, 0u64..3), 1..160)
+    ) {
+        let mut dfs = small_dfs();
+        let mut live: Vec<FileId> = Vec::new();
+        let mut flights: Vec<TransferId> = Vec::new();
+        let mut created = 0u64;
+
+        for (step, (op, a, b)) in ops.iter().copied().enumerate() {
+            // Coarse clock: advances every other step so equal timestamps
+            // (tie-breaks) genuinely occur.
+            let now = SimTime::from_secs((step as u64 / 2) * 10);
+            let tier = TIERS[b as usize % TIERS.len()];
+            match op {
+                // Create + commit a file.
+                0 | 1 => {
+                    let size = ByteSize::mb(a % 200 + 1);
+                    created += 1;
+                    if let Ok(plan) = dfs.create_file(&format!("/p/f{created}"), size, now) {
+                        dfs.commit_file(plan.file, now).expect("fresh file");
+                        live.push(plan.file);
+                    }
+                }
+                // Access a committed file.
+                2 | 3 => {
+                    if !live.is_empty() {
+                        let f = live[a as usize % live.len()];
+                        dfs.record_access(f, now).expect("committed file");
+                    }
+                }
+                // Plan movement (any failure is a legal no-op).
+                4 => {
+                    if !live.is_empty() {
+                        let f = live[a as usize % live.len()];
+                        if let Ok(id) = dfs.plan_downgrade(f, tier, DowngradeTarget::Auto) {
+                            flights.push(id);
+                        }
+                    }
+                }
+                5 => {
+                    if !live.is_empty() {
+                        let f = live[a as usize % live.len()];
+                        if let Ok(id) = dfs.plan_upgrade(f, StorageTier::Memory) {
+                            flights.push(id);
+                        }
+                    }
+                }
+                6 => {
+                    if !live.is_empty() {
+                        let f = live[a as usize % live.len()];
+                        let planned = if a % 2 == 0 {
+                            dfs.plan_cache_copy(f, StorageTier::Memory)
+                        } else {
+                            dfs.plan_drop_replicas(f, tier)
+                        };
+                        if let Ok(id) = planned {
+                            flights.push(id);
+                        }
+                    }
+                }
+                // Complete or cancel an in-flight transfer.
+                7 => {
+                    if !flights.is_empty() {
+                        let id = flights.swap_remove(a as usize % flights.len());
+                        dfs.complete_transfer(id).expect("tracked transfer");
+                    }
+                }
+                8 => {
+                    if !flights.is_empty() {
+                        let id = flights.swap_remove(a as usize % flights.len());
+                        dfs.cancel_transfer(id).expect("tracked transfer");
+                    }
+                }
+                // Delete (fails while a transfer is in flight — a no-op).
+                _ => {
+                    if !live.is_empty() {
+                        let i = a as usize % live.len();
+                        if dfs.delete_file(live[i]).is_ok() {
+                            live.swap_remove(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Counters equal the from-scratch scans, on every tier.
+        for tier in TIERS {
+            prop_assert_eq!(
+                dfs.pending_outgoing(tier),
+                scan_pending_outgoing(&dfs, tier),
+                "pending_outgoing({}) diverged", tier
+            );
+            prop_assert_eq!(
+                dfs.pending_incoming(tier),
+                scan_pending_incoming(&dfs, &flights, tier),
+                "pending_incoming({}) diverged", tier
+            );
+            let got: Vec<(SimTime, FileId)> = dfs.tier_recency_iter(tier).collect();
+            prop_assert_eq!(
+                got,
+                scan_tier_lru(&dfs, tier),
+                "tier recency index({}) diverged", tier
+            );
+        }
+        let got_mru: Vec<(SimTime, FileId)> = dfs.mru_recency_iter().collect();
+        prop_assert_eq!(got_mru, scan_global_mru(&dfs), "global MRU index diverged");
+    }
+}

@@ -160,7 +160,7 @@ fn drop_replicas_is_cache_eviction() {
         ByteSize::mb(128)
     );
     // The replication monitor now flags the under-replicated block.
-    let report = fs.replication_report();
+    let report: Vec<_> = fs.replication_report().collect();
     assert_eq!(report.len(), 1);
     assert_eq!(report[0].1, 2);
     assert_eq!(report[0].2, 3);

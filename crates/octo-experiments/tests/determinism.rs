@@ -1,0 +1,86 @@
+//! End-to-end determinism regression (pinned seed).
+//!
+//! The LRU-OSA quick run replays the same trace through the whole stack:
+//! any change in victim selection order, transfer scheduling, or tier
+//! accounting shifts job timings and movement bytes, and therefore the
+//! digest. The golden value was captured from the original full-scan
+//! policy implementation; the incremental-index refactor must reproduce it
+//! bit-for-bit.
+
+use octo_cluster::{run_trace, RunReport, Scenario};
+use octo_experiments::ExpSettings;
+use octo_workload::TraceKind;
+use std::fmt::Write as _;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A canonical integer-only transcript of a run: per-job timings and sizes,
+/// per-task read tiers, movement statistics. No floats, so the digest is
+/// stable across formatting and arithmetic-reassociation changes.
+fn canonical_transcript(report: &RunReport) -> String {
+    let mut s = String::new();
+    writeln!(s, "scenario={} jobs={}", report.scenario, report.jobs.len()).unwrap();
+    for j in &report.jobs {
+        write!(
+            s,
+            "job bin={:?} submit={} finish={} in={} out={} tiers=",
+            j.bin,
+            j.submit.as_millis(),
+            j.finish.as_millis(),
+            j.input_bytes.as_bytes(),
+            j.output_bytes.as_bytes()
+        )
+        .unwrap();
+        for t in &j.tasks {
+            write!(s, "{}{}", t.read_tier.label(), u8::from(t.remote)).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    let m = &report.movement;
+    for (tier, v) in m.upgraded_to.iter() {
+        writeln!(s, "up {tier}={}", v.as_bytes()).unwrap();
+    }
+    for (tier, v) in m.downgraded_to.iter() {
+        writeln!(s, "down {tier}={}", v.as_bytes()).unwrap();
+    }
+    for (tier, v) in m.dropped_from.iter() {
+        writeln!(s, "drop {tier}={}", v.as_bytes()).unwrap();
+    }
+    writeln!(
+        s,
+        "xfers done={} cancelled={} end={}",
+        m.transfers_completed,
+        m.transfers_cancelled,
+        report.sim_end.as_millis()
+    )
+    .unwrap();
+    for (i, b) in report.bytes_read_by_tier.iter().enumerate() {
+        writeln!(s, "read[{i}]={}", b.as_bytes()).unwrap();
+    }
+    s
+}
+
+#[test]
+fn lru_osa_quick_run_is_bit_identical_on_pinned_seed() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(settings.sim(Scenario::policy_pair("lru", "osa")), &trace);
+    let transcript = canonical_transcript(&report);
+    let digest = fnv1a(transcript.as_bytes());
+    assert_eq!(
+        digest,
+        914_052_170_381_156_786,
+        "LRU-OSA quick-run transcript diverged from the pinned scan-era \
+         baseline (jobs={}, transfers={}, sim_end={}ms)",
+        report.jobs.len(),
+        report.movement.transfers_completed,
+        report.sim_end.as_millis()
+    );
+}

@@ -1,8 +1,6 @@
 //! Classic eviction policies: LRU and LFU (paper Table 1).
 
-use crate::framework::{
-    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig,
-};
+use crate::framework::{effective_utilization, DowngradePolicy, TieringConfig};
 use octo_common::{FileId, SimTime, StorageTier};
 use octo_dfs::TieredDfs;
 use std::collections::BTreeSet;
@@ -23,12 +21,19 @@ pub(crate) fn access_count(dfs: &TieredDfs, file: FileId) -> u64 {
 #[derive(Debug, Clone)]
 pub struct LruDowngrade {
     cfg: TieringConfig,
+    /// Resume point of the current epoch's index walk. Within one
+    /// Algorithm 1 run nothing re-enters the consumed prefix: victims
+    /// become immovable when planned, failed picks land in `skip`, and no
+    /// transfer completes mid-run — so each selection seeks past the last
+    /// victim instead of re-walking the prefix, making a whole epoch
+    /// O(moves · log files) instead of O(moves²).
+    cursor: Option<(SimTime, FileId)>,
 }
 
 impl LruDowngrade {
     /// LRU with the given thresholds.
     pub fn new(cfg: TieringConfig) -> Self {
-        LruDowngrade { cfg }
+        LruDowngrade { cfg, cursor: None }
     }
 }
 
@@ -48,9 +53,20 @@ impl DowngradePolicy for LruDowngrade {
         _now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        downgrade_candidates(dfs, tier, skip)
-            .into_iter()
-            .min_by_key(|f| (last_used(dfs, *f), *f))
+        // The per-tier recency index *is* the LRU order: the victim is the
+        // first movable entry of the range walk, resumed from where the
+        // previous selection of this epoch left off. An empty `skip` marks
+        // a fresh Algorithm 1 run.
+        if skip.is_empty() {
+            self.cursor = None;
+        }
+        let picked = dfs
+            .tier_recency_iter_after(tier, self.cursor)
+            .find(|(_, f)| !skip.contains(f) && dfs.is_movable(*f));
+        if let Some(entry) = picked {
+            self.cursor = Some(entry);
+        }
+        picked.map(|(_, f)| f)
     }
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
@@ -87,8 +103,10 @@ impl DowngradePolicy for LfuDowngrade {
         _now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        downgrade_candidates(dfs, tier, skip)
-            .into_iter()
+        // Frequency has no maintained index; scan the resident set lazily
+        // (no candidate Vec) with the same deterministic key as before.
+        dfs.files_on_tier(tier)
+            .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
             .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f))
     }
 

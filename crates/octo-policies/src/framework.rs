@@ -66,41 +66,52 @@ impl Default for TieringConfig {
 /// Effective utilization of a tier: committed bytes minus the bytes already
 /// scheduled to leave it, over capacity. Policies must use this (not the raw
 /// utilization) so a planning loop observes its own progress.
+///
+/// O(1): both terms are counters the DFS maintains incrementally (space
+/// accounting at reserve/commit time, pending bytes at transfer
+/// plan/complete/cancel time). Algorithm 1 calls this after *every*
+/// scheduled move, so it must not scan the namespace.
 pub fn effective_utilization(dfs: &TieredDfs, tier: StorageTier) -> f64 {
     let (committed, capacity) = dfs.tier_usage(tier);
-    let outgoing = pending_outgoing(dfs, tier);
-    committed.saturating_sub(outgoing).fraction_of(capacity)
+    committed
+        .saturating_sub(dfs.pending_outgoing(tier))
+        .fraction_of(capacity)
 }
 
 /// Bytes currently scheduled to move off or be dropped from `tier`.
+/// Delegates to the DFS's incrementally-maintained counter (O(1)).
 pub fn pending_outgoing(dfs: &TieredDfs, tier: StorageTier) -> ByteSize {
-    let mut total = ByteSize::ZERO;
-    for meta in dfs.iter_files() {
-        if meta.in_flight == 0 {
-            continue;
-        }
-        for &b in &meta.blocks {
-            for r in dfs.block_info(b).replicas() {
-                if r.moving && r.tier == tier {
-                    total += dfs.block_info(b).size;
-                }
-            }
-        }
-    }
-    total
+    dfs.pending_outgoing(tier)
 }
 
 /// Movable downgrade candidates on a tier, ascending by id: committed files
 /// with a live replica on `tier`, no transfer in flight, and not in `skip`.
+///
+/// This is the unordered candidate *set*; recency-ordered policies should
+/// prefer [`lru_candidates`], which walks the maintained index instead of
+/// allocating.
 pub fn downgrade_candidates(
     dfs: &TieredDfs,
     tier: StorageTier,
     skip: &BTreeSet<FileId>,
 ) -> Vec<FileId> {
     dfs.files_on_tier(tier)
-        .into_iter()
         .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
         .collect()
+}
+
+/// Movable downgrade candidates on a tier in LRU order (least recently
+/// used first, ties ascending by id): a lazy range-walk over the per-tier
+/// recency index. Selecting the next victim is O(log n + skipped)
+/// instead of a collect-and-sort over every resident file.
+pub fn lru_candidates<'a>(
+    dfs: &'a TieredDfs,
+    tier: StorageTier,
+    skip: &'a BTreeSet<FileId>,
+) -> impl Iterator<Item = FileId> + 'a {
+    dfs.tier_recency_iter(tier)
+        .map(|(_, f)| f)
+        .filter(move |f| !skip.contains(f) && dfs.is_movable(*f))
 }
 
 /// A downgrade policy: Algorithm 1's four decision points plus callbacks.

@@ -24,8 +24,8 @@ pub mod xgb;
 
 pub use classic::{LfuDowngrade, LruDowngrade, OsaUpgrade};
 pub use framework::{
-    downgrade_candidates, effective_utilization, pending_outgoing, DowngradePolicy, TieringConfig,
-    TieringEngine, UpgradeChoice, UpgradePolicy,
+    downgrade_candidates, effective_utilization, lru_candidates, pending_outgoing, DowngradePolicy,
+    TieringConfig, TieringEngine, UpgradeChoice, UpgradePolicy,
 };
 pub use pacman::{LfuFDowngrade, LifeDowngrade};
 pub use registry::{downgrade_policy, upgrade_policy, DOWNGRADE_NAMES, UPGRADE_NAMES};

@@ -9,30 +9,62 @@
 //!   small jobs.
 //! * **LFU-F** (maximizes cluster efficiency): evict the LFU file from
 //!   `P_old`; if empty, the LFU file from `P_new`.
+//!
+//! Because the per-tier recency index is ordered by last use, `P_old` is a
+//! *prefix* of the index walk and `P_new` the remaining suffix: one pass,
+//! no allocation, and the suffix is only visited when the prefix yields no
+//! victim.
 
 use crate::classic::{access_count, last_used};
-use crate::framework::{
-    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig,
-};
+use crate::framework::{effective_utilization, DowngradePolicy, TieringConfig};
 use octo_common::{ByteSize, FileId, SimTime, StorageTier};
 use octo_dfs::TieredDfs;
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
-fn partition_old_new(
+fn file_size(dfs: &TieredDfs, f: FileId) -> ByteSize {
+    dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size)
+}
+
+/// Walks the tier's recency index once and returns the LFU victim of
+/// `P_old` (files whose last use predates the window), falling back to the
+/// best `P_new` file under `new_key` maximization when `P_old` is empty.
+///
+/// `new_key` returns the ordering key a `P_new` candidate is *maximized*
+/// by, mirroring the original `max_by_key` semantics of both policies.
+fn select_old_then_new<K: Ord>(
     dfs: &TieredDfs,
     tier: StorageTier,
     now: SimTime,
     window: octo_common::SimDuration,
     skip: &BTreeSet<FileId>,
-) -> (Vec<FileId>, Vec<FileId>) {
-    downgrade_candidates(dfs, tier, skip)
-        .into_iter()
-        .partition(|f| now.duration_since(last_used(dfs, *f)) > window)
-}
-
-fn file_size(dfs: &TieredDfs, f: FileId) -> ByteSize {
-    dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size)
+    new_key: impl Fn(&TieredDfs, FileId) -> K,
+) -> Option<FileId> {
+    let mut best_old: Option<(u64, SimTime, FileId)> = None;
+    let mut best_new: Option<(K, FileId)> = None;
+    for (last, f) in dfs.tier_recency_iter(tier) {
+        let is_old = now.duration_since(last) > window;
+        if !is_old && best_old.is_some() {
+            // The index is ordered by last use, so `P_old` is a prefix:
+            // once inside `P_new` with an old victim in hand, stop.
+            break;
+        }
+        if skip.contains(&f) || !dfs.is_movable(f) {
+            continue;
+        }
+        if is_old {
+            let key = (access_count(dfs, f), last, f);
+            if best_old.is_none_or(|b| key < b) {
+                best_old = Some(key);
+            }
+        } else {
+            let key = (new_key(dfs, f), f);
+            if best_new.as_ref().is_none_or(|b| key > *b) {
+                best_new = Some(key);
+            }
+        }
+    }
+    best_old.map(|(_, _, f)| f).or(best_new.map(|(_, f)| f))
 }
 
 /// PACMan LIFE.
@@ -64,14 +96,10 @@ impl DowngradePolicy for LifeDowngrade {
         now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        let (old, new) = partition_old_new(dfs, tier, now, self.cfg.pacman_window, skip);
-        if !old.is_empty() {
-            return old
-                .into_iter()
-                .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f));
-        }
-        new.into_iter()
-            .max_by_key(|f| (file_size(dfs, *f), Reverse(*f)))
+        // P_new fallback: the largest file (ties on *ascending* id).
+        select_old_then_new(dfs, tier, now, self.cfg.pacman_window, skip, |dfs, f| {
+            (file_size(dfs, f), Reverse(f))
+        })
     }
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
@@ -108,16 +136,11 @@ impl DowngradePolicy for LfuFDowngrade {
         now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        let (old, new) = partition_old_new(dfs, tier, now, self.cfg.pacman_window, skip);
-        let pick_lfu = |set: Vec<FileId>| {
-            set.into_iter()
-                .min_by_key(|f| (access_count(dfs, *f), last_used(dfs, *f), *f))
-        };
-        if !old.is_empty() {
-            pick_lfu(old)
-        } else {
-            pick_lfu(new)
-        }
+        // P_new fallback: the LFU file, i.e. *minimize* (count, last, id) —
+        // expressed as maximizing its reverse.
+        select_old_then_new(dfs, tier, now, self.cfg.pacman_window, skip, |dfs, f| {
+            Reverse((access_count(dfs, f), last_used(dfs, f), f))
+        })
     }
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {

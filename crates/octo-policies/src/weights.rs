@@ -10,8 +10,7 @@
 //!   same decay applied at comparison, following [16].
 
 use crate::framework::{
-    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice,
-    UpgradePolicy,
+    effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice, UpgradePolicy,
 };
 use octo_common::{ByteSize, FileId, SimTime, StorageTier};
 use octo_dfs::TieredDfs;
@@ -119,8 +118,10 @@ impl DowngradePolicy for LrfuDowngrade {
         now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        downgrade_candidates(dfs, tier, skip)
-            .into_iter()
+        // Weight order is not recency order, so this stays a scan — but a
+        // lazy one over the resident-set index, with no candidate Vec.
+        dfs.files_on_tier(tier)
+            .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
             .min_by(|a, b| {
                 self.tracker
                     .decayed_weight(*a, now)
@@ -180,8 +181,8 @@ impl DowngradePolicy for ExdDowngrade {
         now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        downgrade_candidates(dfs, tier, skip)
-            .into_iter()
+        dfs.files_on_tier(tier)
+            .filter(|f| !skip.contains(f) && dfs.is_movable(*f))
             .min_by(|a, b| {
                 self.tracker
                     .decayed_weight(*a, now)
@@ -307,30 +308,60 @@ impl ExdUpgrade {
         }
         // Sum the weights of the cheapest memory residents that would need
         // to move out to fit this file.
-        let mut residents: Vec<(f64, ByteSize)> = dfs
+        let residents: Vec<(f64, ByteSize, FileId)> = dfs
             .files_on_tier(StorageTier::Memory)
-            .into_iter()
             .filter(|f| *f != file && dfs.is_movable(*f))
             .map(|f| {
                 let sz = dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size);
-                (self.tracker.decayed_weight(f, now), sz)
+                (self.tracker.decayed_weight(f, now), sz, f)
             })
             .collect();
-        residents.sort_by(|a, b| a.0.total_cmp(&b.0));
         let needed = size.saturating_sub(free);
+        match cheapest_cover(residents, needed) {
+            Some(evicted_weight) => self.tracker.decayed_weight(file, now) > evicted_weight,
+            None => false, // cannot make room at all
+        }
+    }
+}
+
+/// Total weight of the lowest-weight residents whose sizes cover `needed`
+/// bytes (ties broken on ascending `FileId`), or `None` when even evicting
+/// everything falls short.
+///
+/// Lazy top-k selection: `select_nth_unstable_by` partitions the `k`
+/// cheapest entries to the front and only that prefix is sorted and walked;
+/// `k` grows geometrically (×4) until the prefix covers `needed`. The
+/// common case (a few evictions suffice) never sorts — or even orders —
+/// the long tail, unlike the previous full `sort_by` of every memory
+/// resident.
+fn cheapest_cover(mut residents: Vec<(f64, ByteSize, FileId)>, needed: ByteSize) -> Option<f64> {
+    let cmp = |a: &(f64, ByteSize, FileId), b: &(f64, ByteSize, FileId)| {
+        a.0.total_cmp(&b.0).then(a.2.cmp(&b.2))
+    };
+    let len = residents.len();
+    let mut k = 16usize;
+    loop {
+        let take = k.min(len);
+        if take < len {
+            residents.select_nth_unstable_by(take, cmp);
+        }
+        residents[..take].sort_unstable_by(cmp);
         let mut reclaimed = ByteSize::ZERO;
         let mut evicted_weight = 0.0;
-        for (w, sz) in residents {
+        for &(w, sz, _) in &residents[..take] {
             if reclaimed >= needed {
                 break;
             }
             reclaimed += sz;
             evicted_weight += w;
         }
-        if reclaimed < needed {
-            return false; // cannot make room at all
+        if reclaimed >= needed {
+            return Some(evicted_weight);
         }
-        self.tracker.decayed_weight(file, now) > evicted_weight
+        if take == len {
+            return None;
+        }
+        k *= 4;
     }
 }
 
@@ -440,6 +471,47 @@ mod tests {
         }
         let now = SimTime::from_secs(70_010);
         assert!(t.decayed_weight(hot, now) > t.decayed_weight(stale, now));
+    }
+
+    #[test]
+    fn cheapest_cover_matches_full_sort() {
+        // Oracle: the stable full-sort-by-weight accumulation it replaced.
+        fn naive(mut v: Vec<(f64, ByteSize, FileId)>, needed: ByteSize) -> Option<f64> {
+            v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+            let mut reclaimed = ByteSize::ZERO;
+            let mut w = 0.0;
+            for &(wt, sz, _) in &v {
+                if reclaimed >= needed {
+                    break;
+                }
+                reclaimed += sz;
+                w += wt;
+            }
+            (reclaimed >= needed).then_some(w)
+        }
+        // Deterministic pseudo-random population, with weight ties.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 5, 40, 300] {
+            let pool: Vec<(f64, ByteSize, FileId)> = (0..n)
+                .map(|i| {
+                    let w = (next() % 7) as f64 * 0.5;
+                    let sz = ByteSize::mb(next() % 50 + 1);
+                    (w, sz, FileId(i as u64))
+                })
+                .collect();
+            for needed_mb in [0u64, 1, 30, 500, 20_000] {
+                let needed = ByteSize::mb(needed_mb);
+                let got = cheapest_cover(pool.clone(), needed);
+                let want = naive(pool.clone(), needed);
+                assert_eq!(got, want, "n={n} needed={needed_mb}MB");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::classic::last_used;
 use crate::framework::{
-    downgrade_candidates, effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice,
+    effective_utilization, lru_candidates, DowngradePolicy, TieringConfig, UpgradeChoice,
     UpgradePolicy,
 };
 use octo_access::{AccessPredictor, LearnerConfig};
@@ -98,10 +98,11 @@ impl DowngradePolicy for XgbDowngrade {
         now: SimTime,
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
-        let mut candidates = downgrade_candidates(dfs, tier, skip);
-        // LRU order, keep the first k.
-        candidates.sort_by_key(|f| (last_used(dfs, *f), *f));
-        candidates.truncate(self.cfg.xgb_candidates);
+        // The per-tier recency index already yields LRU order: the first k
+        // movable entries of the range walk, no collect-and-sort.
+        let candidates: Vec<FileId> = lru_candidates(dfs, tier, skip)
+            .take(self.cfg.xgb_candidates)
+            .collect();
         if candidates.is_empty() {
             return None;
         }
@@ -171,21 +172,20 @@ impl XgbUpgrade {
     }
 
     /// The `k` most recently used upgrade candidates (movable, not fully in
-    /// memory), most recent first.
+    /// memory), most recent first. A reverse walk of the global recency
+    /// index (which orders exactly like the old
+    /// `sort_by_key(|f| (Reverse(last_used), f))` + truncate), stopping as
+    /// soon as `k` candidates pass the filters.
     fn mru_candidates(&self, dfs: &TieredDfs, already: &BTreeSet<FileId>) -> Vec<FileId> {
-        let mut candidates: Vec<FileId> = dfs
-            .iter_files()
-            .filter(|m| {
-                m.state == octo_dfs::FileState::Complete
-                    && !already.contains(&m.id)
-                    && dfs.is_movable(m.id)
-                    && !dfs.file_fully_on_tier(m.id, StorageTier::Memory)
+        dfs.mru_recency_iter()
+            .map(|(_, f)| f)
+            .filter(|f| {
+                !already.contains(f)
+                    && dfs.is_movable(*f)
+                    && !dfs.file_fully_on_tier(*f, StorageTier::Memory)
             })
-            .map(|m| m.id)
-            .collect();
-        candidates.sort_by_key(|f| (std::cmp::Reverse(last_used(dfs, *f)), *f));
-        candidates.truncate(self.cfg.xgb_candidates);
-        candidates
+            .take(self.cfg.xgb_candidates)
+            .collect()
     }
 }
 
