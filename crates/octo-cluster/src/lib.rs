@@ -21,6 +21,6 @@ pub mod sim;
 
 pub use dfsio::{run_dfsio, DfsioConfig, DfsioReport};
 pub use resources::ResourceMap;
-pub use runstats::{JobResult, RunReport, TaskStat};
+pub use runstats::{FaultSummary, JobResult, RunReport, TaskStat};
 pub use scenario::Scenario;
 pub use sim::{run_trace, ClusterSim, SimConfig};

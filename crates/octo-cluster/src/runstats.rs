@@ -1,9 +1,51 @@
 //! Raw per-run results the metrics crate aggregates into paper tables.
 
-use octo_common::{ByteSize, SimTime, StorageTier};
+use octo_common::{ByteSize, SimDuration, SimTime, StorageTier};
 use octo_dfs::MovementStats;
 use octo_workload::SizeBin;
 use serde::{Deserialize, Serialize};
+
+/// Availability and repair statistics of a run under fault injection.
+/// All-zero (the `Default`) for runs without a fault schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Node crashes applied.
+    pub crashes: u64,
+    /// Node recoveries applied.
+    pub recoveries: u64,
+    /// Permanent device losses applied.
+    pub disk_losses: u64,
+    /// Reads that failed because the serving replica's node died mid-read
+    /// or no live replica existed at dispatch (retries counted each time).
+    pub failed_reads: u64,
+    /// Tasks re-run because their worker crashed while they computed.
+    pub tasks_rerun: u64,
+    /// Jobs abandoned because an input block was lost for good.
+    pub failed_jobs: u64,
+    /// Files that ended the run with at least one replica-less block.
+    pub lost_files: u64,
+    /// Bytes written by completed repair transfers.
+    pub bytes_re_replicated: ByteSize,
+    /// Completed repair transfers.
+    pub repairs_completed: u64,
+    /// When the last fault event fired.
+    pub last_fault_at: Option<SimTime>,
+    /// When the cluster last transitioned back to "every committed file
+    /// fully replicated" (None if it never got there, or never degraded).
+    pub full_replication_at: Option<SimTime>,
+}
+
+impl FaultSummary {
+    /// Time from the last fault until full replication was restored —
+    /// the paper-style "time to re-protect the data" metric. `None` while
+    /// the run ended degraded or saw no faults.
+    pub fn time_to_full_replication(&self) -> Option<SimDuration> {
+        match (self.last_fault_at, self.full_replication_at) {
+            (Some(fault), Some(healed)) if healed >= fault => Some(healed.duration_since(fault)),
+            _ => None,
+        }
+    }
+}
 
 /// One task's I/O record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +82,9 @@ pub struct JobResult {
     pub tasks: Vec<TaskStat>,
     /// Seconds the output write took.
     pub output_write_secs: f64,
+    /// True when the job was abandoned because an input block was lost
+    /// (only possible under fault injection).
+    pub failed: bool,
 }
 
 impl JobResult {
@@ -82,6 +127,8 @@ pub struct RunReport {
     pub sim_end: SimTime,
     /// Bytes of job input read from each tier, cluster-wide.
     pub bytes_read_by_tier: [ByteSize; 3],
+    /// Availability/repair statistics (all-zero without a fault schedule).
+    pub faults: FaultSummary,
 }
 
 impl RunReport {
@@ -95,12 +142,21 @@ impl RunReport {
         self.bytes_read_by_tier[StorageTier::Memory.index()]
     }
 
-    /// Mean job completion time in seconds.
+    /// Mean completion time of *successful* jobs in seconds. Jobs
+    /// abandoned to data loss are excluded — their "completion" is the
+    /// failure instant, and counting it would reward lossy configurations
+    /// with a lower mean.
     pub fn mean_completion_secs(&self) -> f64 {
-        if self.jobs.is_empty() {
+        let done: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.failed)
+            .map(|j| j.completion_secs())
+            .collect();
+        if done.is_empty() {
             return 0.0;
         }
-        self.jobs.iter().map(|j| j.completion_secs()).sum::<f64>() / self.jobs.len() as f64
+        done.iter().sum::<f64>() / done.len() as f64
     }
 
     /// Total task-seconds across all jobs.

@@ -15,19 +15,34 @@
 //!   commits and transfer completions drive the downgrade trigger; a
 //!   periodic monitor tick feeds the ML policies training samples and runs
 //!   the proactive checks.
+//! * An optional [`FaultSchedule`] injects node crashes, recoveries, and
+//!   permanent disk losses: crashes cancel the transfers and reads they
+//!   interrupt, tasks re-run elsewhere, and the Replication Monitor's
+//!   repair planner re-replicates under-replicated files with bounded
+//!   bandwidth per monitor epoch.
 //!
-//! Everything is deterministic for a fixed `(trace, config)` pair.
+//! Two deliberate fault-model simplifications: output-write pipelines are
+//! not interrupted by a crash — the replica landing on the dead node is
+//! marked dead at crash time and the committed file is re-protected by the
+//! repair planner, approximating HDFS pipeline recovery at zero extra
+//! bandwidth cost; and repair never *trims*, so a dead replica that
+//! returns after its re-replication landed leaves the block
+//! over-replicated (visible in `replication_report`, as in HDFS before
+//! excess-replica pruning).
+//!
+//! Everything is deterministic for a fixed `(trace, config)` pair — fault
+//! schedules included.
 
 use crate::resources::ResourceMap;
-use crate::runstats::{JobResult, RunReport, TaskStat};
+use crate::runstats::{FaultSummary, JobResult, RunReport, TaskStat};
 use crate::scenario::Scenario;
 use octo_access::LearnerConfig;
 use octo_common::{ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, TieredDfs, TransferId};
+use octo_dfs::{DfsConfig, RepairPlanner, TieredDfs, TransferId};
 use octo_policies::{TieringConfig, TieringEngine};
 use octo_simkit::{EventQueue, FlowModel};
-use octo_workload::Trace;
-use std::collections::{HashMap, VecDeque};
+use octo_workload::{FaultKind, FaultSchedule, Trace};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Simulation parameters (hardware config + execution model constants).
 #[derive(Debug, Clone)]
@@ -52,6 +67,11 @@ pub struct SimConfig {
     pub monitor_interval: SimDuration,
     /// Seed for policy-internal sampling.
     pub seed: u64,
+    /// Fault schedule to inject (empty = no faults, no repair: behaviour is
+    /// bit-identical to a build without fault support).
+    pub faults: FaultSchedule,
+    /// Byte budget per monitor epoch for repair re-replication.
+    pub repair_bandwidth: ByteSize,
 }
 
 impl Default for SimConfig {
@@ -67,6 +87,8 @@ impl Default for SimConfig {
             output_ttl: SimDuration::from_mins(20),
             monitor_interval: SimDuration::from_secs(60),
             seed: 42,
+            faults: FaultSchedule::none(),
+            repair_bandwidth: ByteSize::gb(2),
         }
     }
 }
@@ -79,12 +101,16 @@ enum Event {
         job: usize,
         task: usize,
         node: NodeId,
+        /// The node's crash epoch when the task started computing: a
+        /// mismatch at delivery means the worker died underneath it.
+        epoch: u64,
     },
     FlowTick {
         version: u64,
     },
     Monitor,
     DeleteTemp(FileId),
+    Fault(usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +140,9 @@ struct TaskRt {
 /// `(bytes, source device, destination device)` of one in-flight block move.
 type MovingBlock = (ByteSize, (NodeId, StorageTier), (NodeId, StorageTier));
 
+/// `(flow, job, task, source device, reader node)` of a read a fault kills.
+type DeadRead = (FlowId, usize, usize, (NodeId, StorageTier), NodeId);
+
 #[derive(Debug)]
 struct JobRt {
     spec: usize,
@@ -125,6 +154,8 @@ struct JobRt {
     completion: SimTime,
     stats: Vec<TaskStat>,
     finished: bool,
+    /// Abandoned because an input block was lost for good.
+    failed: bool,
 }
 
 /// The simulator. Construct with [`ClusterSim::new`], run with
@@ -146,6 +177,20 @@ pub struct ClusterSim<'t> {
     file_map: Vec<Option<FileId>>,
     jobs_remaining: usize,
     bytes_read_by_tier: [ByteSize; 3],
+    /// Per-node crash counter; `CpuDone` events carry the epoch they were
+    /// scheduled under so work lost to a crash is detected and re-run.
+    node_epoch: Vec<u64>,
+    /// Tasks with no readable replica right now, parked until a recovery
+    /// or repair brings one back.
+    blocked: Vec<(usize, usize)>,
+    /// Per-node count of not-yet-fired Recover events: zero means a block
+    /// whose only copies are dead there is gone for good.
+    pending_recoveries: Vec<usize>,
+    /// True while a Monitor event sits in the queue (fault handlers re-arm
+    /// the monitor without double-scheduling it).
+    monitor_armed: bool,
+    repair: RepairPlanner,
+    fstats: FaultSummary,
 }
 
 impl<'t> ClusterSim<'t> {
@@ -166,14 +211,26 @@ impl<'t> ClusterSim<'t> {
         for (i, j) in trace.jobs.iter().enumerate() {
             queue.schedule(j.submit, Event::Submit(i));
         }
+        for (i, ev) in cfg.faults.events().iter().enumerate() {
+            queue.schedule(ev.at, Event::Fault(i));
+        }
         queue.schedule(SimTime::ZERO + cfg.monitor_interval, Event::Monitor);
 
         let workers = cfg.dfs.workers as usize;
+        let pending_recoveries = (0..workers)
+            .map(|n| cfg.faults.recoveries_for(NodeId(n as u32)))
+            .collect();
         ClusterSim {
             free_slots: vec![cfg.slots_per_node; workers],
             jobs_remaining: trace.jobs.len(),
             file_map: vec![None; trace.files.len()],
             jobs: Vec::with_capacity(trace.jobs.len()),
+            node_epoch: vec![0; workers],
+            blocked: Vec::new(),
+            pending_recoveries,
+            monitor_armed: true,
+            repair: RepairPlanner::new(cfg.repair_bandwidth),
+            fstats: FaultSummary::default(),
             cfg,
             trace,
             dfs,
@@ -210,20 +267,39 @@ impl<'t> ClusterSim<'t> {
                     input_bytes: self.trace.files[spec.input].size,
                     output_bytes: spec.output_size,
                     tasks: j.stats.clone(),
-                    output_write_secs: j
-                        .completion
-                        .duration_since(j.output_write_start)
-                        .as_secs_f64(),
+                    // A failed job never wrote output: its completion is
+                    // the failure instant, not a write duration.
+                    output_write_secs: if j.failed {
+                        0.0
+                    } else {
+                        j.completion
+                            .duration_since(j.output_write_start)
+                            .as_secs_f64()
+                    },
+                    failed: j.failed,
                 }
             })
             .collect();
+        let movement = *self.dfs.movement_stats();
+        self.fstats.bytes_re_replicated = movement.bytes_re_replicated();
+        self.fstats.repairs_completed = movement.repairs_completed;
+        self.fstats.lost_files = self
+            .dfs
+            .iter_files()
+            .filter(|m| {
+                m.blocks
+                    .iter()
+                    .any(|b| self.dfs.block_info(*b).replicas().is_empty())
+            })
+            .count() as u64;
         RunReport {
             scenario: self.cfg.scenario.label(),
             workload: self.trace.kind.label().to_string(),
             jobs,
-            movement: *self.dfs.movement_stats(),
+            movement,
             sim_end: self.queue.now(),
             bytes_read_by_tier: self.bytes_read_by_tier,
+            faults: self.fstats,
         }
     }
 
@@ -235,10 +311,16 @@ impl<'t> ClusterSim<'t> {
         match ev {
             Event::Ingest(i) => self.handle_ingest(i, now),
             Event::Submit(i) => self.handle_submit(i, now),
-            Event::CpuDone { job, task, node } => self.handle_cpu_done(job, task, node, now),
+            Event::CpuDone {
+                job,
+                task,
+                node,
+                epoch,
+            } => self.handle_cpu_done(job, task, node, epoch, now),
             Event::FlowTick { version } => self.handle_flow_tick(version, now),
             Event::Monitor => self.handle_monitor(now),
             Event::DeleteTemp(file) => self.handle_delete_temp(file, now),
+            Event::Fault(i) => self.handle_fault(i, now),
         }
     }
 
@@ -312,6 +394,7 @@ impl<'t> ClusterSim<'t> {
             completion: now,
             stats: Vec::with_capacity(n_tasks),
             finished: false,
+            failed: false,
         });
         for t in 0..n_tasks {
             self.pending.push_back((job_idx, t));
@@ -328,8 +411,8 @@ impl<'t> ClusterSim<'t> {
                     continue;
                 }
                 let node = NodeId(node_i as u32);
-                // Prefer a task with a replica on this node (any tier — the
-                // scheduler is tier-unaware), else take the oldest task.
+                // Prefer a task with a live replica on this node (any tier
+                // — the scheduler is tier-unaware), else the oldest task.
                 let pos = self
                     .pending
                     .iter()
@@ -339,7 +422,7 @@ impl<'t> ClusterSim<'t> {
                             .block_info(block)
                             .replicas()
                             .iter()
-                            .any(|r| r.node == node)
+                            .any(|r| r.node == node && !r.dead)
                     })
                     .unwrap_or(0);
                 let (job, task) = self.pending.remove(pos).expect("non-empty");
@@ -354,20 +437,41 @@ impl<'t> ClusterSim<'t> {
     }
 
     fn start_task_read(&mut self, job: usize, task: usize, node: NodeId, now: SimTime) {
+        if self.jobs[job].finished {
+            // The job failed while this task waited for a slot.
+            self.free_slots[node.index()] += 1;
+            return;
+        }
         let block = self.jobs[job].tasks[task].block;
         let size = self.jobs[job].tasks[task].size;
         let info = self.dfs.block_info(block);
-        // Best reachable replica: local first, then fastest tier.
+        // Best reachable live replica: local first, then fastest tier.
         let src = info
             .replicas()
             .iter()
+            .filter(|r| !r.dead)
             .max_by_key(|r| (r.node == node, r.tier.rank(), std::cmp::Reverse(r.node)))
-            .map(|r| (r.node, r.tier))
-            .expect("committed blocks have replicas");
+            .map(|r| (r.node, r.tier));
+        let Some(src) = src else {
+            // No readable copy right now: park the task if one of the dead
+            // replicas' nodes will recover, abandon the job otherwise.
+            self.free_slots[node.index()] += 1;
+            self.fstats.failed_reads += 1;
+            let recoverable = info
+                .replicas()
+                .iter()
+                .any(|r| r.dead && self.pending_recoveries[r.node.index()] > 0);
+            if recoverable {
+                self.blocked.push((job, task));
+            } else {
+                self.fail_job(job, now);
+            }
+            return;
+        };
         let had_mem = info
             .replicas()
             .iter()
-            .any(|r| r.tier == StorageTier::Memory);
+            .any(|r| r.tier == StorageTier::Memory && !r.dead);
         self.dfs.io_started(src.0, src.1);
         let id = FlowId(self.flow_ids.next_raw());
         let path = self.resources.read_path(src, node);
@@ -422,6 +526,12 @@ impl<'t> ClusterSim<'t> {
         now: SimTime,
     ) {
         self.dfs.io_finished(src.0, src.1);
+        if self.jobs[job].finished {
+            // The job failed while this read ran: release the slot only.
+            self.free_slots[dst.index()] += 1;
+            self.schedule_tasks(now);
+            return;
+        }
         let size = self.jobs[job].tasks[task].size;
         let read_secs = now.duration_since(start).as_secs_f64();
         let cpu = self.cfg.task_overhead
@@ -441,12 +551,27 @@ impl<'t> ClusterSim<'t> {
                 job,
                 task,
                 node: dst,
+                epoch: self.node_epoch[dst.index()],
             },
         );
     }
 
-    fn handle_cpu_done(&mut self, job: usize, _task: usize, node: NodeId, now: SimTime) {
+    fn handle_cpu_done(&mut self, job: usize, task: usize, node: NodeId, epoch: u64, now: SimTime) {
+        if epoch != self.node_epoch[node.index()] {
+            // The worker died while this task computed: its slot vanished
+            // with the crash; the work must be redone elsewhere.
+            if !self.jobs[job].finished {
+                self.fstats.tasks_rerun += 1;
+                self.pending.push_back((job, task));
+                self.schedule_tasks(now);
+            }
+            return;
+        }
         self.free_slots[node.index()] += 1;
+        if self.jobs[job].finished {
+            self.schedule_tasks(now);
+            return;
+        }
         self.jobs[job].done += 1;
         if self.jobs[job].done == self.jobs[job].tasks.len() {
             self.start_output_write(job, now);
@@ -487,6 +612,9 @@ impl<'t> ClusterSim<'t> {
         self.dfs
             .commit_file(file, now)
             .expect("output just written");
+        // A crash mid-write may have left this file's replicas dead; they
+        // only become visible to the degraded set once it is committed.
+        self.refresh_heal_state(now);
         self.engine.notify_created(&self.dfs, file, now);
         let spec = &self.trace.jobs[self.jobs[job].spec];
         if !spec.output_durable {
@@ -505,13 +633,52 @@ impl<'t> ClusterSim<'t> {
         self.jobs_remaining -= 1;
     }
 
+    /// Abandons a job whose input can never be read again (a block lost
+    /// every replica): its queued tasks are purged; reads already in flight
+    /// release their slots as they land.
+    fn fail_job(&mut self, job: usize, now: SimTime) {
+        if self.jobs[job].finished {
+            return;
+        }
+        self.finish_job(job, now);
+        self.jobs[job].failed = true;
+        self.fstats.failed_jobs += 1;
+        self.pending.retain(|&(j, _)| j != job);
+        self.blocked.retain(|&(j, _)| j != job);
+    }
+
     fn handle_monitor(&mut self, now: SimTime) {
+        self.monitor_armed = false;
         self.engine.tick(&self.dfs, now);
         let planned = self.engine.run_upgrade(&mut self.dfs, None, now);
         self.execute_transfers(planned, now);
         self.check_downgrades(now);
+        if !self.cfg.faults.is_empty() {
+            // The Replication Monitor's repair epoch: re-replicate
+            // under-replicated files within the per-epoch byte budget.
+            let planned = self.repair.plan_epoch(&mut self.dfs);
+            self.execute_transfers(planned, now);
+            self.unpark_ready_tasks(now);
+            // A permanently dead cluster (every worker down, nobody coming
+            // back) can make no progress: fail the submitted jobs so the
+            // run terminates instead of ticking into the horizon assert.
+            if self.dfs.nodes().alive_count() == 0
+                && self.pending_recoveries.iter().all(|n| *n == 0)
+            {
+                for job in 0..self.jobs.len() {
+                    self.fail_job(job, now);
+                }
+            }
+        }
         // Keep ticking while there is anything left to drive.
         if self.jobs_remaining > 0 || self.dfs.transfers_in_flight() > 0 {
+            self.arm_monitor(now);
+        }
+    }
+
+    fn arm_monitor(&mut self, now: SimTime) {
+        if !self.monitor_armed {
+            self.monitor_armed = true;
             self.queue
                 .schedule(now + self.cfg.monitor_interval, Event::Monitor);
         }
@@ -528,6 +695,200 @@ impl<'t> ClusterSim<'t> {
                     .schedule(now + SimDuration::from_mins(2), Event::DeleteTemp(file));
             }
             Err(_) => {} // already gone
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn handle_fault(&mut self, idx: usize, now: SimTime) {
+        let ev = self.cfg.faults.events()[idx];
+        match ev.kind {
+            FaultKind::Crash => self.apply_crash(ev.node, now),
+            FaultKind::Recover => self.apply_recovery(ev.node, now),
+            FaultKind::DiskLoss(tier) => self.apply_disk_loss(ev.node, tier, now),
+        }
+    }
+
+    /// Registers a fault instant: the heal clock restarts, and
+    /// `refresh_heal_state` re-stamps it right away when the fault turned
+    /// out not to degrade anything.
+    fn note_fault(&mut self, now: SimTime) {
+        self.fstats.last_fault_at = Some(now);
+        self.fstats.full_replication_at = None;
+    }
+
+    fn apply_crash(&mut self, node: NodeId, now: SimTime) {
+        self.fstats.crashes += 1;
+        self.note_fault(now);
+        let failure = self
+            .dfs
+            .fail_node(node)
+            .expect("schedule alternation valid");
+        self.kill_transfer_flows(&failure.cancelled_transfers, now);
+
+        // Reads served by the node (source died) or running on it (reader
+        // died) fail mid-flight. Sorted by flow id: `flow_purpose` is a
+        // HashMap and the retry order must stay deterministic.
+        let mut dead_reads: Vec<DeadRead> = self
+            .flow_purpose
+            .iter()
+            .filter_map(|(fid, p)| match *p {
+                FlowPurpose::Read {
+                    job,
+                    task,
+                    src,
+                    dst,
+                    ..
+                } if src.0 == node || dst == node => Some((*fid, job, task, src, dst)),
+                _ => None,
+            })
+            .collect();
+        dead_reads.sort_unstable_by_key(|t| t.0);
+        // The node serves nothing and runs nothing until it recovers; every
+        // CpuDone scheduled under the old epoch is now stale.
+        self.node_epoch[node.index()] += 1;
+        self.free_slots[node.index()] = 0;
+        for (fid, job, task, src, dst) in dead_reads {
+            self.flows.cancel_flow(now, fid);
+            self.flow_purpose.remove(&fid);
+            self.dfs.io_finished(src.0, src.1);
+            self.fstats.failed_reads += 1;
+            if dst == node {
+                // The reader died with its slot; the task re-runs elsewhere.
+                if !self.jobs[job].finished {
+                    self.pending.push_back((job, task));
+                }
+            } else {
+                // The source died; the reader retries from another replica
+                // without giving up its slot.
+                self.start_task_read(job, task, dst, now);
+            }
+        }
+        self.refresh_heal_state(now);
+        self.arm_monitor(now);
+        self.schedule_tasks(now);
+    }
+
+    fn apply_recovery(&mut self, node: NodeId, now: SimTime) {
+        self.fstats.recoveries += 1;
+        self.pending_recoveries[node.index()] -= 1;
+        self.dfs
+            .recover_node(node)
+            .expect("schedule alternation valid");
+        self.free_slots[node.index()] = self.cfg.slots_per_node;
+        self.unpark_ready_tasks(now);
+        self.refresh_heal_state(now);
+        if self.dfs.has_under_replicated() {
+            self.arm_monitor(now);
+        }
+        self.schedule_tasks(now);
+    }
+
+    fn apply_disk_loss(&mut self, node: NodeId, tier: StorageTier, now: SimTime) {
+        self.fstats.disk_losses += 1;
+        self.note_fault(now);
+        let failure = self.dfs.lose_device(node, tier).expect("device exists");
+        self.kill_transfer_flows(&failure.cancelled_transfers, now);
+        // Reads streaming from the destroyed device retry from another
+        // replica; the reader keeps its slot.
+        let mut dead_reads: Vec<(FlowId, usize, usize, NodeId)> = self
+            .flow_purpose
+            .iter()
+            .filter_map(|(fid, p)| match *p {
+                FlowPurpose::Read {
+                    job,
+                    task,
+                    src,
+                    dst,
+                    ..
+                } if src == (node, tier) => Some((*fid, job, task, dst)),
+                _ => None,
+            })
+            .collect();
+        dead_reads.sort_unstable_by_key(|t| t.0);
+        for (fid, job, task, dst) in dead_reads {
+            self.flows.cancel_flow(now, fid);
+            self.flow_purpose.remove(&fid);
+            self.dfs.io_finished(node, tier);
+            self.fstats.failed_reads += 1;
+            self.start_task_read(job, task, dst, now);
+        }
+        self.refresh_heal_state(now);
+        self.arm_monitor(now);
+        self.schedule_tasks(now);
+    }
+
+    /// Re-queues parked tasks whose block is readable again. Tasks whose
+    /// block is still unavailable stay parked without a read attempt (so
+    /// `failed_reads` counts genuine dispatch failures, not poll retries);
+    /// tasks whose block can no longer come back fail their job.
+    fn unpark_ready_tasks(&mut self, now: SimTime) {
+        if self.blocked.is_empty() {
+            return;
+        }
+        let blocked = std::mem::take(&mut self.blocked);
+        for (job, task) in blocked {
+            if self.jobs[job].finished {
+                continue;
+            }
+            let (unavailable, recoverable) = {
+                let info = self.dfs.block_info(self.jobs[job].tasks[task].block);
+                (
+                    info.is_unavailable(),
+                    info.replicas()
+                        .iter()
+                        .any(|r| r.dead && self.pending_recoveries[r.node.index()] > 0),
+                )
+            };
+            if !unavailable {
+                self.pending.push_back((job, task));
+            } else if recoverable {
+                self.blocked.push((job, task));
+            } else {
+                // Every copy is gone and nobody is coming back for the
+                // dead ones: the input is lost.
+                self.fail_job(job, now);
+            }
+        }
+        self.schedule_tasks(now);
+    }
+
+    /// Cancels the I/O flows of transfers the DFS already cancelled.
+    fn kill_transfer_flows(&mut self, cancelled: &[TransferId], now: SimTime) {
+        if cancelled.is_empty() {
+            return;
+        }
+        let set: HashSet<TransferId> = cancelled.iter().copied().collect();
+        let mut flows: Vec<FlowId> = self
+            .flow_purpose
+            .iter()
+            .filter_map(|(fid, p)| match p {
+                FlowPurpose::TransferBlock { id } if set.contains(id) => Some(*fid),
+                _ => None,
+            })
+            .collect();
+        flows.sort_unstable();
+        for fid in flows {
+            self.flows.cancel_flow(now, fid);
+            self.flow_purpose.remove(&fid);
+        }
+        for id in cancelled {
+            self.transfer_blocks.remove(id);
+        }
+    }
+
+    /// Tracks the degraded → fully-replicated transition for the
+    /// time-to-full-replication availability metric.
+    fn refresh_heal_state(&mut self, now: SimTime) {
+        if self.cfg.faults.is_empty() {
+            return;
+        }
+        if self.dfs.has_under_replicated() {
+            self.fstats.full_replication_at = None;
+        } else if self.fstats.last_fault_at.is_some() && self.fstats.full_replication_at.is_none() {
+            self.fstats.full_replication_at = Some(now);
         }
     }
 
@@ -585,8 +946,11 @@ impl<'t> ClusterSim<'t> {
         }
         self.transfer_blocks.remove(&id);
         let t = self.dfs.complete_transfer(id).expect("all blocks landed");
-        // An upgrade fills a higher tier: re-check the downgrade trigger.
-        if t.kind == octo_dfs::TransferKind::Upgrade {
+        if t.kind == octo_dfs::TransferKind::Repair {
+            self.refresh_heal_state(now);
+        }
+        // Upgrades and repairs fill tiers: re-check the downgrade trigger.
+        if t.kind != octo_dfs::TransferKind::Downgrade {
             self.check_downgrades(now);
         }
     }

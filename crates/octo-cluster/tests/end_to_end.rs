@@ -7,7 +7,7 @@ use octo_cluster::{run_dfsio, run_trace, DfsioConfig, Scenario, SimConfig};
 use octo_common::{ByteSize, PerTier, SimDuration, StorageTier};
 use octo_dfs::DfsConfig;
 use octo_gbt::GbtParams;
-use octo_workload::{generate, Trace, WorkloadConfig};
+use octo_workload::{generate, FaultConfig, FaultSchedule, Trace, WorkloadConfig};
 
 /// A small FB-flavoured workload (fast enough for debug-mode tests).
 fn small_trace(seed: u64) -> Trace {
@@ -48,6 +48,100 @@ fn small_sim(scenario: Scenario) -> SimConfig {
         seed: 11,
         ..SimConfig::default()
     }
+}
+
+/// Every scenario survives a fault schedule: crashed workers lose their
+/// tasks, reads fail over to surviving replicas, the Replication Monitor
+/// re-replicates what the crashes destroyed, and the whole run stays
+/// deterministic.
+#[test]
+fn fault_injected_runs_complete_heal_and_stay_deterministic() {
+    let trace = small_trace(9);
+    let faults = FaultSchedule::generate(&FaultConfig::default(), 4, 17);
+    assert!(!faults.is_empty());
+    let mk = || {
+        let mut cfg = small_sim(Scenario::policy_pair("lru", "osa"));
+        cfg.faults = faults.clone();
+        cfg
+    };
+    let report = run_trace(mk(), &trace);
+
+    assert_eq!(
+        report.jobs.len(),
+        trace.jobs.len(),
+        "every job completes or fails definitively"
+    );
+    assert!(report.faults.crashes > 0, "the schedule crashed somebody");
+    assert_eq!(
+        report.faults.crashes, report.faults.recoveries,
+        "generated schedules always heal"
+    );
+    assert!(
+        report.faults.bytes_re_replicated > ByteSize::ZERO,
+        "the repair planner re-protected the lost replicas"
+    );
+    assert!(
+        report.faults.full_replication_at.is_some(),
+        "the cluster healed back to full replication"
+    );
+    assert!(report.faults.time_to_full_replication().is_some());
+
+    // Same trace, same schedule, same seed: bit-identical outcome.
+    let again = run_trace(mk(), &trace);
+    assert_eq!(report, again, "fault runs must be deterministic");
+}
+
+/// A targeted mass crash: three of four workers die at the instant a job's
+/// reads start. In-flight reads are cancelled and fail over, blocks with no
+/// live replica park their tasks until the recovery, and every job still
+/// finishes.
+#[test]
+fn mass_crash_interrupts_reads_and_recovery_unblocks_them() {
+    use octo_common::NodeId;
+    use octo_workload::{FaultEvent, FaultKind};
+
+    let trace = small_trace(3);
+    let crash_at = trace.jobs[0].submit; // submits pop before faults (FIFO)
+    let recover_at = crash_at + SimDuration::from_mins(10);
+    let mut events = Vec::new();
+    for n in [1u32, 2, 3] {
+        events.push(FaultEvent {
+            at: crash_at,
+            node: NodeId(n),
+            kind: FaultKind::Crash,
+        });
+        events.push(FaultEvent {
+            at: recover_at,
+            node: NodeId(n),
+            kind: FaultKind::Recover,
+        });
+    }
+    let mut cfg = small_sim(Scenario::policy_pair("lru", "osa"));
+    cfg.faults = FaultSchedule::from_events(events);
+    let report = run_trace(cfg, &trace);
+
+    assert_eq!(report.jobs.len(), trace.jobs.len(), "every job finishes");
+    assert!(
+        report.faults.failed_reads > 0,
+        "the crash interrupted or blocked reads: {:?}",
+        report.faults
+    );
+    assert_eq!(report.faults.failed_jobs, 0, "nothing was truly lost");
+    assert_eq!(report.faults.lost_files, 0, "disk contents survived");
+    assert!(!report.jobs.iter().any(|j| j.failed));
+}
+
+/// Faults also work without any tiering policy installed (plain OctopusFS):
+/// repair is driven by the monitor tick alone.
+#[test]
+fn faults_heal_without_tiering_policies() {
+    let trace = small_trace(5);
+    let mut cfg = small_sim(Scenario::OctopusFs);
+    cfg.faults = FaultSchedule::generate(&FaultConfig::default(), 4, 23);
+    let report = run_trace(cfg, &trace);
+    assert_eq!(report.jobs.len(), trace.jobs.len());
+    assert!(report.faults.crashes > 0);
+    assert!(report.faults.bytes_re_replicated > ByteSize::ZERO);
 }
 
 #[test]

@@ -4,11 +4,19 @@
 //! index `tier → files with at least one block replica on that tier`, which
 //! is what downgrade policies enumerate when a tier fills up. Replicas that
 //! are the *source* of an in-flight move are flagged `moving`: they remain
-//! readable but cannot be selected for another transfer.
+//! readable but cannot be selected for another transfer. Replicas hosted by
+//! a crashed node are flagged `dead`: the bytes survive on disk but are
+//! unreadable until the node recovers.
+//!
+//! The manager also tracks under-replication incrementally for the
+//! Replication Monitor: every replica change refreshes the owning block's
+//! deficiency (`live replicas < target`), and `degraded` holds the files
+//! with at least one deficient block — so "what needs repair?" is a set
+//! walk, not a namespace scan.
 
 use octo_common::{BlockId, ByteSize, FileId, NodeId, OctoError, PerTier, Result, StorageTier};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One stored copy of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -19,6 +27,9 @@ pub struct Replica {
     pub tier: StorageTier,
     /// True while this copy is the source of an in-flight transfer.
     pub moving: bool,
+    /// True while the hosting node is down: the copy is unreadable and does
+    /// not count toward the live replication factor.
+    pub dead: bool,
 }
 
 /// Metadata of a single block.
@@ -33,10 +44,12 @@ pub struct BlockInfo {
     /// Actual bytes in this block (the last block of a file may be short).
     pub size: ByteSize,
     replicas: Vec<Replica>,
+    /// True while `live_replicas() < target` (maintained by the manager).
+    deficient: bool,
 }
 
 impl BlockInfo {
-    /// All replicas of this block.
+    /// All replicas of this block, dead ones included.
     pub fn replicas(&self) -> &[Replica] {
         &self.replicas
     }
@@ -48,12 +61,27 @@ impl BlockInfo {
             .find(|r| r.node == node && r.tier == tier)
     }
 
-    /// The first non-moving replica on `tier`, if any.
+    /// The first live, non-moving replica on `tier`, if any.
     pub fn replica_on_tier(&self, tier: StorageTier) -> Option<&Replica> {
-        self.replicas.iter().find(|r| r.tier == tier && !r.moving)
+        self.replicas
+            .iter()
+            .find(|r| r.tier == tier && !r.moving && !r.dead)
     }
 
-    /// Nodes already holding a copy (placement must avoid them).
+    /// Number of live (readable, possibly moving) replicas.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| !r.dead).count()
+    }
+
+    /// True when the block has no readable copy right now (it may still be
+    /// recoverable if a dead replica's node comes back).
+    pub fn is_unavailable(&self) -> bool {
+        self.live_replicas() == 0
+    }
+
+    /// Nodes already holding a copy, dead ones included (placement must
+    /// avoid them all: a recovering node would otherwise end up with two
+    /// copies of the same block).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.replicas.iter().map(|r| r.node)
     }
@@ -64,15 +92,34 @@ impl BlockInfo {
 pub struct BlockManager {
     blocks: Vec<Option<BlockInfo>>,
     /// `tier -> files with >= 1 block replica on it` (deterministic order).
+    /// Dead replicas count: the bytes still occupy the device.
     files_on_tier: PerTier<BTreeSet<FileId>>,
     /// `file -> per-tier count of block replicas`.
     tier_counts: HashMap<FileId, PerTier<u32>>,
+    /// Live replicas per block must reach this target; 0 disables tracking.
+    target: u32,
+    /// `file -> number of blocks with live replicas < target`. Keys are the
+    /// under-replicated files the Replication Monitor walks.
+    degraded: BTreeMap<FileId, u32>,
+    /// Tiers of replicas a fault destroyed, per still-deficient block:
+    /// repair prefers re-creating the copy on the tier it was lost from.
+    /// Entries are dropped once the block is back at full replication.
+    lost_tiers: HashMap<BlockId, Vec<StorageTier>>,
 }
 
 impl BlockManager {
-    /// An empty catalog.
+    /// An empty catalog with under-replication tracking disabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty catalog flagging blocks with fewer than `target` live
+    /// replicas as deficient.
+    pub fn with_target(target: u32) -> Self {
+        BlockManager {
+            target,
+            ..Self::default()
+        }
     }
 
     /// Registers a new block (initially replica-less) and returns its id.
@@ -84,7 +131,9 @@ impl BlockManager {
             index,
             size,
             replicas: Vec::new(),
+            deficient: false,
         }));
+        self.refresh_deficiency(id);
         id
     }
 
@@ -99,6 +148,55 @@ impl BlockManager {
         self.blocks[id.index()]
             .as_mut()
             .expect("block id refers to a deleted block")
+    }
+
+    /// Re-evaluates one block's deficiency after a replica change and keeps
+    /// the per-file degraded index in sync. O(replicas) per call.
+    fn refresh_deficiency(&mut self, block: BlockId) {
+        if self.target == 0 {
+            return;
+        }
+        let (file, was, now) = {
+            let b = self.block(block);
+            (
+                b.file,
+                b.deficient,
+                b.live_replicas() < self.target as usize,
+            )
+        };
+        if was == now {
+            return;
+        }
+        self.block_mut(block).deficient = now;
+        if now {
+            *self.degraded.entry(file).or_insert(0) += 1;
+        } else {
+            let n = self
+                .degraded
+                .get_mut(&file)
+                .expect("deficient block tracked");
+            *n -= 1;
+            if *n == 0 {
+                self.degraded.remove(&file);
+            }
+            // Fully replicated again: the loss record served its purpose.
+            self.lost_tiers.remove(&block);
+        }
+    }
+
+    /// Drops a deleted block's contribution to the degraded index.
+    fn forget_deficiency(&mut self, file: FileId, was_deficient: bool) {
+        if !was_deficient {
+            return;
+        }
+        let n = self
+            .degraded
+            .get_mut(&file)
+            .expect("deficient block tracked");
+        *n -= 1;
+        if *n == 0 {
+            self.degraded.remove(&file);
+        }
     }
 
     fn bump_tier_count(&mut self, file: FileId, tier: StorageTier, delta: i32) {
@@ -136,10 +234,12 @@ impl BlockManager {
                 node,
                 tier,
                 moving: false,
+                dead: false,
             });
             b.file
         };
         self.bump_tier_count(file, tier, 1);
+        self.refresh_deficiency(block);
         Ok(())
     }
 
@@ -162,6 +262,7 @@ impl BlockManager {
             b.file
         };
         self.bump_tier_count(file, tier, -1);
+        self.refresh_deficiency(block);
         Ok(())
     }
 
@@ -219,12 +320,85 @@ impl BlockManager {
         Ok(())
     }
 
+    /// Flags or clears the dead state of the replica at `(node, tier)`
+    /// (node crashed / recovered). Space accounting is untouched: the bytes
+    /// still occupy the device.
+    pub fn set_dead(
+        &mut self,
+        block: BlockId,
+        node: NodeId,
+        tier: StorageTier,
+        dead: bool,
+    ) -> Result<()> {
+        let b = self.block_mut(block);
+        let r = b
+            .replicas
+            .iter_mut()
+            .find(|r| r.node == node && r.tier == tier)
+            .ok_or_else(|| {
+                OctoError::NotFound(format!("no replica of {block} at {node}/{tier}"))
+            })?;
+        r.dead = dead;
+        self.refresh_deficiency(block);
+        Ok(())
+    }
+
+    /// Records that a fault destroyed a replica of `block` on `tier`, so
+    /// repair can prefer re-creating it there. Only deficient blocks are
+    /// recorded: losing a *surplus* replica (repair landed, then the dead
+    /// node came back) needs no repair, and an entry for it would never be
+    /// cleaned up by the deficient→healthy transition.
+    pub fn note_lost_tier(&mut self, block: BlockId, tier: StorageTier) {
+        if self.target > 0 && (self.block(block).live_replicas() as u32) < self.target {
+            self.lost_tiers.entry(block).or_default().push(tier);
+        }
+    }
+
+    /// Tiers this block lost replicas from (empty once fully replicated).
+    pub fn lost_tiers(&self, block: BlockId) -> &[StorageTier] {
+        self.lost_tiers.get(&block).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Every `(block, tier, moving, dead)` replica hosted by `node`, in
+    /// block-id order. A full catalog scan — fault events are rare enough
+    /// that an extra per-node index is not worth its upkeep.
+    pub fn replicas_on_node(&self, node: NodeId) -> Vec<(BlockId, StorageTier, bool, bool)> {
+        self.blocks
+            .iter()
+            .flatten()
+            .flat_map(|b| {
+                b.replicas
+                    .iter()
+                    .filter(|r| r.node == node)
+                    .map(|r| (b.id, r.tier, r.moving, r.dead))
+            })
+            .collect()
+    }
+
+    /// Files with at least one block whose live replica count is below the
+    /// target, ascending by id. Incrementally maintained: no scan.
+    pub fn degraded_files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.degraded.keys().copied()
+    }
+
+    /// True when no block anywhere is under-replicated.
+    pub fn fully_replicated(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// The configured live-replica target (0 = tracking disabled).
+    pub fn replication_target(&self) -> u32 {
+        self.target
+    }
+
     /// Deletes a block entirely, returning the replicas whose space must be
     /// freed.
     pub fn delete_block(&mut self, block: BlockId) -> Vec<Replica> {
         let info = self.blocks[block.index()]
             .take()
             .expect("deleting a dead block");
+        self.forget_deficiency(info.file, info.deficient);
+        self.lost_tiers.remove(&block);
         for r in &info.replicas {
             self.bump_tier_count(info.file, r.tier, -1);
         }
@@ -354,6 +528,55 @@ mod tests {
         assert_eq!(freed.len(), 2);
         assert!(!bm.file_on_tier(f, MEM));
         assert_eq!(bm.live_blocks(), 0);
+    }
+
+    #[test]
+    fn dead_flags_hide_replicas_and_track_deficiency() {
+        let mut bm = BlockManager::with_target(2);
+        let f = FileId(0);
+        let b = bm.create_block(f, 0, ByteSize::mb(128));
+        assert_eq!(
+            bm.degraded_files().collect::<Vec<_>>(),
+            vec![f],
+            "a replica-less block is deficient"
+        );
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        bm.add_replica(b, NodeId(1), HDD).unwrap();
+        assert!(bm.fully_replicated());
+
+        bm.set_dead(b, NodeId(1), HDD, true).unwrap();
+        assert!(bm.block(b).replica_on_tier(HDD).is_none(), "dead is hidden");
+        assert_eq!(bm.block(b).live_replicas(), 1);
+        assert_eq!(bm.degraded_files().collect::<Vec<_>>(), vec![f]);
+        assert!(bm.file_on_tier(f, HDD), "dead bytes still occupy the tier");
+
+        bm.set_dead(b, NodeId(1), HDD, false).unwrap();
+        assert!(bm.fully_replicated());
+        assert!(bm.block(b).replica_on_tier(HDD).is_some());
+    }
+
+    #[test]
+    fn replicas_on_node_scans_the_catalog() {
+        let mut bm = BlockManager::with_target(2);
+        let b0 = bm.create_block(FileId(0), 0, ByteSize::mb(1));
+        let b1 = bm.create_block(FileId(1), 0, ByteSize::mb(1));
+        bm.add_replica(b0, NodeId(0), MEM).unwrap();
+        bm.add_replica(b0, NodeId(1), HDD).unwrap();
+        bm.add_replica(b1, NodeId(1), SSD).unwrap();
+        let on_1 = bm.replicas_on_node(NodeId(1));
+        assert_eq!(on_1, vec![(b0, HDD, false, false), (b1, SSD, false, false)]);
+        assert_eq!(bm.replicas_on_node(NodeId(2)), vec![]);
+    }
+
+    #[test]
+    fn delete_block_clears_deficiency() {
+        let mut bm = BlockManager::with_target(3);
+        let f = FileId(4);
+        let b = bm.create_block(f, 0, ByteSize::mb(1));
+        bm.add_replica(b, NodeId(0), MEM).unwrap();
+        assert!(!bm.fully_replicated());
+        bm.delete_block(b);
+        assert!(bm.fully_replicated(), "deleted blocks stop counting");
     }
 
     #[test]

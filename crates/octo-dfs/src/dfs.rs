@@ -42,6 +42,21 @@ pub enum DowngradeTarget {
     Delete,
 }
 
+/// What a node crash or disk loss did to the DFS (input for the simulator,
+/// which must cancel the I/O flows of the cancelled transfers and fail the
+/// reads that were being served by the node).
+#[derive(Debug, Clone, Default)]
+pub struct NodeFailure {
+    /// In-flight transfers cancelled because an action touched the node.
+    pub cancelled_transfers: Vec<TransferId>,
+    /// Replicas destroyed for good (memory contents, or the lost device).
+    pub lost_replicas: u64,
+    /// Bytes those destroyed replicas held.
+    pub lost_bytes: ByteSize,
+    /// Disk replicas marked dead (offline until the node recovers).
+    pub offlined_replicas: u64,
+}
+
 /// The replica layout chosen for one new block.
 #[derive(Debug, Clone)]
 pub struct BlockWrite {
@@ -93,7 +108,7 @@ impl TieredDfs {
             recency: RecencyIndex::new(),
             ns: Namespace::new(),
             files: FileTable::new(),
-            blocks: BlockManager::new(),
+            blocks: BlockManager::with_target(config.replication),
             placement,
             transfers: TransferTable::new(),
             config,
@@ -401,7 +416,7 @@ impl TieredDfs {
             let src = info
                 .replicas()
                 .iter()
-                .filter(|r| !r.moving && to_tier.is_higher_than(r.tier))
+                .filter(|r| !r.moving && !r.dead && to_tier.is_higher_than(r.tier))
                 .min_by_key(|r| (r.tier.rank(), r.node))
                 .copied();
             let Some(src) = src else {
@@ -463,7 +478,7 @@ impl TieredDfs {
             let src = info
                 .replicas()
                 .iter()
-                .filter(|r| !r.moving && r.tier != tier)
+                .filter(|r| !r.moving && !r.dead && r.tier != tier)
                 .max_by_key(|r| (r.tier.rank(), std::cmp::Reverse(r.node)))
                 .copied();
             let Some(src) = src else {
@@ -586,6 +601,245 @@ impl TieredDfs {
             .expect("in-flight file exists")
             .in_flight -= 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling (node crashes, recoveries, disk losses) and repair
+    // ------------------------------------------------------------------
+
+    /// Recomputes a committed file's recency-index residency on `tier`
+    /// after replicas were destroyed.
+    fn resync_residency(&mut self, file: FileId, tier: StorageTier) {
+        if self
+            .files
+            .get(file)
+            .is_some_and(|m| m.state == FileState::Complete)
+        {
+            self.recency
+                .set_resident(file, tier, self.blocks.file_on_tier(file, tier));
+        }
+    }
+
+    /// Releases the space a destroyed replica held: reservations for files
+    /// still being written, used bytes otherwise.
+    fn free_destroyed(&mut self, file: FileId, at: (NodeId, StorageTier), size: ByteSize) {
+        let writing = self
+            .files
+            .get(file)
+            .is_some_and(|m| m.state == FileState::Writing);
+        if writing {
+            self.nodes.release_reserved(at.0, at.1, size);
+        } else {
+            self.nodes.free_used(at.0, at.1, size);
+        }
+    }
+
+    /// Takes `node` down. In-flight transfers touching the node are
+    /// cancelled (reservations released, moving flags cleared), its
+    /// memory-tier replicas are destroyed — DRAM does not survive a crash —
+    /// and its disk-tier replicas are marked dead: unreadable, excluded
+    /// from the live replication factor, but restored by
+    /// [`TieredDfs::recover_node`]. All incremental state (tier accounting,
+    /// pending-byte counters, recency indexes, degraded set) stays
+    /// consistent.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<NodeFailure> {
+        if !self.nodes.is_alive(node) {
+            return Err(OctoError::InvalidState(format!("{node} is already down")));
+        }
+        let mut failure = NodeFailure {
+            cancelled_transfers: self.transfers.ids_touching_node(node),
+            ..NodeFailure::default()
+        };
+        for &id in &failure.cancelled_transfers {
+            self.cancel_transfer(id).expect("listed transfer in flight");
+        }
+        for (block, tier, moving, dead) in self.blocks.replicas_on_node(node) {
+            debug_assert!(!moving, "transfers touching the node were cancelled");
+            debug_assert!(!dead, "the node was up until now");
+            let info = self.blocks.block(block);
+            let (file, size) = (info.file, info.size);
+            if tier == StorageTier::Memory {
+                self.blocks
+                    .remove_replica(block, node, tier)
+                    .expect("replica listed by the scan");
+                self.blocks.note_lost_tier(block, tier);
+                self.free_destroyed(file, (node, tier), size);
+                self.resync_residency(file, tier);
+                failure.lost_replicas += 1;
+                failure.lost_bytes += size;
+            } else {
+                self.blocks
+                    .set_dead(block, node, tier, true)
+                    .expect("replica listed by the scan");
+                failure.offlined_replicas += 1;
+            }
+        }
+        self.nodes.set_alive(node, false);
+        Ok(failure)
+    }
+
+    /// Brings `node` back up: its dead disk replicas become readable again
+    /// and count toward the live replication factor. Returns how many
+    /// replicas came back. (Memory replicas destroyed by the crash stay
+    /// gone — re-replicating them is the repair planner's job.)
+    pub fn recover_node(&mut self, node: NodeId) -> Result<u64> {
+        if self.nodes.is_alive(node) {
+            return Err(OctoError::InvalidState(format!("{node} is already up")));
+        }
+        self.nodes.set_alive(node, true);
+        let mut restored = 0;
+        for (block, tier, _moving, dead) in self.blocks.replicas_on_node(node) {
+            if dead {
+                self.blocks
+                    .set_dead(block, node, tier, false)
+                    .expect("replica listed by the scan");
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Permanently destroys the contents of the device `(node, tier)`: the
+    /// node stays up, the device comes back empty (a replaced disk).
+    /// Transfers touching the device are cancelled; replicas on it are
+    /// removed and their space freed. Blocks whose last replica lived there
+    /// are lost for good.
+    pub fn lose_device(&mut self, node: NodeId, tier: StorageTier) -> Result<NodeFailure> {
+        let mut failure = NodeFailure {
+            cancelled_transfers: self.transfers.ids_touching_device(node, tier),
+            ..NodeFailure::default()
+        };
+        for &id in &failure.cancelled_transfers {
+            self.cancel_transfer(id).expect("listed transfer in flight");
+        }
+        for (block, rtier, moving, _dead) in self.blocks.replicas_on_node(node) {
+            if rtier != tier {
+                continue;
+            }
+            debug_assert!(!moving, "transfers touching the device were cancelled");
+            let info = self.blocks.block(block);
+            let (file, size) = (info.file, info.size);
+            self.blocks
+                .remove_replica(block, node, tier)
+                .expect("replica listed by the scan");
+            self.blocks.note_lost_tier(block, tier);
+            self.free_destroyed(file, (node, tier), size);
+            self.resync_residency(file, tier);
+            failure.lost_replicas += 1;
+            failure.lost_bytes += size;
+        }
+        Ok(failure)
+    }
+
+    /// Plans re-replication of `file`'s under-replicated blocks: for every
+    /// block with fewer live replicas than the configured factor, copies
+    /// from the fastest live replica onto fresh nodes. Tier-aware: each
+    /// missing copy preferably lands on the tier where a dead replica sits
+    /// (re-creating what the crash took offline), falling back to the
+    /// source's tier, spilling to lower tiers when full. Partial repair is
+    /// allowed — blocks that cannot be repaired right now are skipped and
+    /// picked up by a later epoch.
+    pub fn plan_repair(&mut self, file: FileId) -> Result<TransferId> {
+        self.movable_file(file)?;
+        let target = self.config.replication as usize;
+        let mut actions: Vec<BlockTransfer> = Vec::new();
+        let mut i = 0;
+        while let Some(b) = self.nth_block(file, i) {
+            i += 1;
+            let info = self.blocks.block(b);
+            let live = info.live_replicas();
+            if live >= target {
+                continue;
+            }
+            // Read from the fastest live copy; none ⇒ the block is
+            // unavailable (recoverable only if its node comes back).
+            let Some(src) = info
+                .replicas()
+                .iter()
+                .filter(|r| !r.moving && !r.dead)
+                .max_by_key(|r| (r.tier.rank(), std::cmp::Reverse(r.node)))
+                .copied()
+            else {
+                continue;
+            };
+            // What was lost, fastest loss first: tiers of dead replicas
+            // (offline, may return) then tiers faults destroyed outright.
+            let mut lost: Vec<StorageTier> = info
+                .replicas()
+                .iter()
+                .filter(|r| r.dead)
+                .map(|r| r.tier)
+                .collect();
+            lost.extend_from_slice(self.blocks.lost_tiers(b));
+            let size = info.size;
+            // Repair copies planned for this block must land on distinct
+            // nodes, but they only materialize at completion: exclude the
+            // in-plan destinations by hand.
+            let mut extra_exclude: Vec<NodeId> = Vec::new();
+            for k in 0..(target - live) {
+                let preferred = lost.get(k).copied().unwrap_or(src.tier);
+                let info = self.blocks.block(b);
+                let placed = std::iter::once(preferred)
+                    .chain(preferred.tiers_below())
+                    .find_map(|t| {
+                        self.placement
+                            .place_repair(&self.nodes, info, t, &extra_exclude)
+                    });
+                let Some(to) = placed else {
+                    continue;
+                };
+                self.nodes
+                    .reserve(to.0, to.1, size)
+                    .expect("place_repair verified capacity");
+                extra_exclude.push(to.0);
+                actions.push(BlockTransfer {
+                    block: b,
+                    size,
+                    action: BlockAction::Copy {
+                        from: (src.node, src.tier),
+                        to,
+                    },
+                });
+            }
+        }
+        if actions.is_empty() {
+            return Err(OctoError::NotFound(format!(
+                "{file} has nothing repairable right now"
+            )));
+        }
+        Ok(self.finish_plan(file, TransferKind::Repair, actions))
+    }
+
+    /// Committed files with at least one under-replicated block, ascending
+    /// by id, as `(file, min live replicas over its blocks, target)`. Walks
+    /// the incrementally-maintained degraded set — no namespace scan — so
+    /// the Replication Monitor, the repair planner, and the tests all share
+    /// one source of truth.
+    pub fn under_replicated_files(&self) -> impl Iterator<Item = (FileId, usize, usize)> + '_ {
+        let target = self.config.replication as usize;
+        self.blocks.degraded_files().filter_map(move |f| {
+            let meta = self.files.get(f)?;
+            if meta.state != FileState::Complete {
+                return None;
+            }
+            let min_live = meta
+                .blocks
+                .iter()
+                .map(|b| self.blocks.block(*b).live_replicas())
+                .min()
+                .unwrap_or(0);
+            Some((f, min_live, target))
+        })
+    }
+
+    /// True while some committed file is under-replicated.
+    pub fn has_under_replicated(&self) -> bool {
+        self.under_replicated_files().next().is_some()
+    }
+
+    /// True while `node` is up.
+    pub fn node_is_alive(&self, node: NodeId) -> bool {
+        self.nodes.is_alive(node)
     }
 
     // ------------------------------------------------------------------
@@ -736,10 +990,12 @@ impl TieredDfs {
         self.files.iter()
     }
 
-    /// Replication monitor report: blocks whose replica count deviates from
-    /// the configured factor (only meaningful for committed files). Lazy:
-    /// the monitor tick streams the deviations without materializing a
-    /// fresh `Vec` per invocation.
+    /// Replication monitor report: blocks whose *live* replica count
+    /// deviates from the configured factor (only meaningful for committed
+    /// files) — replicas on crashed nodes do not count, so the per-block
+    /// view agrees with [`TieredDfs::under_replicated_files`]. Lazy: the
+    /// monitor tick streams the deviations without materializing a fresh
+    /// `Vec` per invocation.
     pub fn replication_report(&self) -> impl Iterator<Item = (BlockId, usize, usize)> + '_ {
         let target = self.config.replication as usize;
         self.files
@@ -748,7 +1004,7 @@ impl TieredDfs {
             .flat_map(move |meta| {
                 meta.blocks
                     .iter()
-                    .map(move |&b| (b, self.blocks.block(b).replicas().len(), target))
+                    .map(move |&b| (b, self.blocks.block(b).live_replicas(), target))
             })
             .filter(|&(_, n, target)| n != target)
     }

@@ -19,7 +19,9 @@
 //!   walk instead of a collect-and-sort over the namespace.
 //! * [`placement::PlacementPolicy`] — the multi-objective placement of
 //!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
-//! * [`replication`] — transfer plans and movement statistics.
+//! * [`replication`] — transfer plans, movement statistics, and the
+//!   self-healing [`replication::RepairPlanner`] that re-replicates
+//!   under-replicated blocks after node crashes and disk losses.
 //! * [`dfs::TieredDfs`] — the facade tying it all together.
 //!
 //! The crate is simulation-agnostic: it accounts space and metadata but
@@ -39,13 +41,13 @@ pub mod stats;
 
 pub use block::{BlockInfo, BlockManager, Replica};
 pub use config::DfsConfig;
-pub use dfs::{BlockWrite, DowngradeTarget, TieredDfs, WritePlan};
+pub use dfs::{BlockWrite, DowngradeTarget, NodeFailure, TieredDfs, WritePlan};
 pub use files::{FileMeta, FileState, FileTable};
 pub use namespace::{Entry, Namespace};
 pub use node::{Device, NodeManager};
 pub use placement::{PlacementPolicy, PlacementWeights};
 pub use recency::RecencyIndex;
 pub use replication::{
-    BlockAction, BlockTransfer, MovementStats, Transfer, TransferId, TransferKind,
+    BlockAction, BlockTransfer, MovementStats, RepairPlanner, Transfer, TransferId, TransferKind,
 };
 pub use stats::{AccessStats, StatsRegistry};

@@ -68,15 +68,20 @@ impl Device {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeManager {
     nodes: Vec<PerTier<Device>>,
+    /// Per-node liveness: dead nodes keep their space accounting (disk
+    /// contents survive a crash) but accept no reservations and are
+    /// skipped by placement.
+    alive: Vec<bool>,
 }
 
 impl NodeManager {
     /// Builds the device inventory from the cluster config.
     pub fn new(config: &DfsConfig) -> Self {
-        let nodes = (0..config.workers)
+        let nodes: Vec<PerTier<Device>> = (0..config.workers)
             .map(|_| PerTier::from_fn(|t| Device::new(*config.tier_capacity.get(t))))
             .collect();
-        NodeManager { nodes }
+        let alive = vec![true; nodes.len()];
+        NodeManager { nodes, alive }
     }
 
     /// Number of worker nodes.
@@ -103,8 +108,28 @@ impl NodeManager {
         self.nodes[node.index()].get_mut(tier)
     }
 
+    /// True while `node` is up. Dead nodes hold their data (minus memory)
+    /// but serve nothing.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Number of nodes currently up.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Marks a node down. Idempotence is the caller's problem: the DFS
+    /// facade rejects double-failures before touching accounting.
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        self.alive[node.index()] = alive;
+    }
+
     /// Reserves `bytes` on a device ahead of an incoming transfer.
     pub fn reserve(&mut self, node: NodeId, tier: StorageTier, bytes: ByteSize) -> Result<()> {
+        if !self.is_alive(node) {
+            return Err(OctoError::InvalidState(format!("{node} is down")));
+        }
         let d = self.device_mut(node, tier);
         if d.free() < bytes {
             return Err(OctoError::OutOfCapacity(format!(
@@ -241,6 +266,22 @@ mod tests {
         assert_eq!(m.device(n, StorageTier::Hdd).active_io(), 2);
         m.io_finished(n, StorageTier::Hdd);
         assert_eq!(m.device(n, StorageTier::Hdd).active_io(), 1);
+    }
+
+    #[test]
+    fn dead_nodes_reject_reservations() {
+        let mut m = mgr();
+        assert_eq!(m.alive_count(), 3);
+        m.set_alive(NodeId(1), false);
+        assert!(!m.is_alive(NodeId(1)));
+        assert_eq!(m.alive_count(), 2);
+        let err = m
+            .reserve(NodeId(1), StorageTier::Ssd, ByteSize::mb(1))
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_state");
+        m.set_alive(NodeId(1), true);
+        m.reserve(NodeId(1), StorageTier::Ssd, ByteSize::mb(1))
+            .unwrap();
     }
 
     #[test]

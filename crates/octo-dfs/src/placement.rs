@@ -127,6 +127,9 @@ impl PlacementPolicy {
     ) -> Option<(NodeId, StorageTier)> {
         let mut best: Option<((NodeId, StorageTier), f64)> = None;
         for node in nodes.node_ids() {
+            if !nodes.is_alive(node) {
+                continue;
+            }
             let excluded = exclude_nodes.contains(&node);
             if excluded && !(allow_preferred_excluded && prefer_node == Some(node)) {
                 continue;
@@ -227,7 +230,7 @@ impl PlacementPolicy {
         let mut best: Option<((NodeId, StorageTier), f64)> = None;
         let tier_uses = [0u32; 3];
         for r in block.replicas() {
-            if r.tier == tier {
+            if r.tier == tier || r.dead || !nodes.is_alive(r.node) {
                 continue;
             }
             if block.replica_at(r.node, tier).is_some() {
@@ -250,6 +253,36 @@ impl PlacementPolicy {
             block.size,
             &[tier],
             &holders,
+            &tier_uses,
+            None,
+            false,
+        )
+    }
+
+    /// Chooses the node for a *repair* copy of `block` on `tier`: a node
+    /// not holding any copy (dead ones included — a recovering node must
+    /// never find a duplicate of its own replica) and not in
+    /// `extra_exclude` (destinations of sibling repair copies still in
+    /// flight). Unlike a cache copy, fault tolerance wins over locality,
+    /// so colocation is never tried.
+    pub fn place_repair(
+        &self,
+        nodes: &NodeManager,
+        block: &BlockInfo,
+        tier: StorageTier,
+        extra_exclude: &[NodeId],
+    ) -> Option<(NodeId, StorageTier)> {
+        let mut exclude: Vec<NodeId> = block.nodes().collect();
+        exclude.extend_from_slice(extra_exclude);
+        let mut tier_uses = [0u32; 3];
+        for r in block.replicas() {
+            tier_uses[r.tier.index()] += 1;
+        }
+        self.best_candidate(
+            nodes,
+            block.size,
+            &[tier],
+            &exclude,
             &tier_uses,
             None,
             false,
@@ -410,6 +443,34 @@ mod tests {
             target,
             (NodeId(3), StorageTier::Memory),
             "cache copy lands next to the disk copy"
+        );
+    }
+
+    #[test]
+    fn dead_nodes_never_receive_placements() {
+        let (_, mut nodes) = small_cluster();
+        nodes.set_alive(NodeId(0), false);
+        nodes.set_alive(NodeId(1), false);
+        let placed = policy().place_new_block(&nodes, ByteSize::mb(128), 3);
+        assert_eq!(placed.len(), 2, "only two nodes alive");
+        assert!(placed.iter().all(|(n, _)| n.index() >= 2), "{placed:?}");
+    }
+
+    #[test]
+    fn repair_placement_avoids_all_holders_dead_included() {
+        let (_, nodes) = small_cluster();
+        let mut bm = BlockManager::new();
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), StorageTier::Hdd).unwrap();
+        bm.set_dead(b, NodeId(0), StorageTier::Hdd, true).unwrap();
+        bm.add_replica(b, NodeId(1), StorageTier::Ssd).unwrap();
+        let target = policy()
+            .place_repair(&nodes, bm.block(b), StorageTier::Hdd, &[])
+            .expect("hdd has room");
+        assert_eq!(target.1, StorageTier::Hdd);
+        assert!(
+            target.0 != NodeId(0) && target.0 != NodeId(1),
+            "repair must land on a fresh node, got {target:?}"
         );
     }
 

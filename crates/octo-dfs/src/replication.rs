@@ -28,6 +28,9 @@ pub enum TransferKind {
     Upgrade,
     /// Replica moving to a lower tier (or being dropped).
     Downgrade,
+    /// Re-replication of an under-replicated block (Replication Monitor
+    /// repair after a node crash or disk loss).
+    Repair,
 }
 
 /// One block-level action within a transfer.
@@ -125,10 +128,22 @@ pub struct MovementStats {
     pub downgraded_to: PerTier<ByteSize>,
     /// Bytes of replicas deleted from each tier.
     pub dropped_from: PerTier<ByteSize>,
+    /// Bytes landed on each tier by repair re-replication.
+    pub repaired_to: PerTier<ByteSize>,
     /// Completed transfer count.
     pub transfers_completed: u64,
     /// Cancelled transfer count.
     pub transfers_cancelled: u64,
+    /// Completed repair-transfer count (also included in
+    /// `transfers_completed`).
+    pub repairs_completed: u64,
+}
+
+impl MovementStats {
+    /// Total bytes re-replicated by repair transfers across all tiers.
+    pub fn bytes_re_replicated(&self) -> ByteSize {
+        self.repaired_to.iter().map(|(_, v)| *v).sum()
+    }
 }
 
 /// Table of in-flight transfers.
@@ -233,12 +248,16 @@ impl TransferTable {
         let t = self.active.remove(&id)?;
         self.release_pending(&t);
         self.stats.transfers_completed += 1;
+        if t.kind == TransferKind::Repair {
+            self.stats.repairs_completed += 1;
+        }
         for b in &t.blocks {
             match b.action {
                 BlockAction::Move { to, .. } | BlockAction::Copy { to, .. } => {
                     let bucket = match t.kind {
                         TransferKind::Upgrade => self.stats.upgraded_to.get_mut(to.1),
                         TransferKind::Downgrade => self.stats.downgraded_to.get_mut(to.1),
+                        TransferKind::Repair => self.stats.repaired_to.get_mut(to.1),
                     };
                     *bucket += b.size;
                 }
@@ -248,6 +267,43 @@ impl TransferTable {
             }
         }
         Some(t)
+    }
+
+    /// Ids of in-flight transfers with any block action whose source or
+    /// destination sits on `node`, ascending — the transfers a node crash
+    /// must cancel.
+    pub fn ids_touching_node(&self, node: NodeId) -> Vec<TransferId> {
+        let mut ids: Vec<TransferId> = self
+            .active
+            .values()
+            .filter(|t| {
+                t.blocks.iter().any(|bt| {
+                    bt.action.source().0 == node
+                        || bt.action.destination().is_some_and(|d| d.0 == node)
+                })
+            })
+            .map(|t| t.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ids of in-flight transfers touching the device `(node, tier)`,
+    /// ascending — the transfers a disk loss must cancel.
+    pub fn ids_touching_device(&self, node: NodeId, tier: StorageTier) -> Vec<TransferId> {
+        let dev = (node, tier);
+        let mut ids: Vec<TransferId> = self
+            .active
+            .values()
+            .filter(|t| {
+                t.blocks
+                    .iter()
+                    .any(|bt| bt.action.source() == dev || bt.action.destination() == Some(dev))
+            })
+            .map(|t| t.id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Removes a transfer that was cancelled.
@@ -266,6 +322,61 @@ impl TransferTable {
     /// Cumulative movement statistics.
     pub fn stats(&self) -> &MovementStats {
         &self.stats
+    }
+}
+
+/// The self-healing half of the Replication Monitor: schedules
+/// re-replication of under-replicated files, bounded by a per-epoch byte
+/// budget so repair traffic cannot starve the tiering policies.
+///
+/// Each epoch walks the DFS's incrementally-maintained degraded set in
+/// ascending file id (deterministic) and plans one repair transfer per
+/// file via [`crate::TieredDfs::plan_repair`] until the budget is spent.
+/// The budget is a soft bound at file granularity: the transfer that
+/// crosses it is still scheduled whole, so one oversized file cannot stall
+/// repair forever.
+///
+/// Repair is protection-first and never trims: a dead replica whose node
+/// recovers after the re-replication landed leaves the block with more
+/// live replicas than the target. The excess stays visible in
+/// `replication_report` (excess-replica pruning, as HDFS does it, is
+/// future work).
+#[derive(Debug, Clone, Copy)]
+pub struct RepairPlanner {
+    /// Byte budget per planning epoch.
+    pub bandwidth_per_epoch: ByteSize,
+}
+
+impl RepairPlanner {
+    /// A planner with the given per-epoch repair bandwidth.
+    pub fn new(bandwidth_per_epoch: ByteSize) -> Self {
+        RepairPlanner {
+            bandwidth_per_epoch,
+        }
+    }
+
+    /// Plans one epoch of repairs, returning the transfers scheduled.
+    /// Files that cannot be repaired right now (a transfer already in
+    /// flight, no live source, no placement) are skipped and retried on a
+    /// later epoch.
+    pub fn plan_epoch(&self, dfs: &mut crate::TieredDfs) -> Vec<TransferId> {
+        let mut budget = self.bandwidth_per_epoch;
+        let mut planned = Vec::new();
+        let candidates: Vec<FileId> = dfs.under_replicated_files().map(|(f, _, _)| f).collect();
+        for file in candidates {
+            if budget.is_zero() {
+                break;
+            }
+            if let Ok(id) = dfs.plan_repair(file) {
+                let bytes = dfs
+                    .transfer(id)
+                    .map(|t| t.bytes_moving())
+                    .unwrap_or(ByteSize::ZERO);
+                budget = budget.saturating_sub(bytes);
+                planned.push(id);
+            }
+        }
+        planned
     }
 }
 

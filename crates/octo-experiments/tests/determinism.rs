@@ -7,9 +7,9 @@
 //! policy implementation; the incremental-index refactor must reproduce it
 //! bit-for-bit.
 
-use octo_cluster::{run_trace, RunReport, Scenario};
+use octo_cluster::{run_trace, FaultSummary, RunReport, Scenario};
 use octo_experiments::ExpSettings;
-use octo_workload::TraceKind;
+use octo_workload::{FaultConfig, FaultSchedule, TraceKind};
 use std::fmt::Write as _;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -41,6 +41,11 @@ fn canonical_transcript(report: &RunReport) -> String {
         for t in &j.tasks {
             write!(s, "{}{}", t.read_tier.label(), u8::from(t.remote)).unwrap();
         }
+        if j.failed {
+            // Only possible under fault injection; the no-fault transcript
+            // (and its pinned digest) is unchanged.
+            write!(s, " failed").unwrap();
+        }
         writeln!(s).unwrap();
     }
     let m = &report.movement;
@@ -64,7 +69,59 @@ fn canonical_transcript(report: &RunReport) -> String {
     for (i, b) in report.bytes_read_by_tier.iter().enumerate() {
         writeln!(s, "read[{i}]={}", b.as_bytes()).unwrap();
     }
+    if report.faults != FaultSummary::default() {
+        // Fault section only when faults happened, so the no-fault digest
+        // above is bit-identical to the pre-fault-injection baseline.
+        let f = &report.faults;
+        writeln!(
+            s,
+            "faults crash={} recover={} diskloss={} failed_reads={} rerun={} \
+             failed_jobs={} lost={} repaired={} repairs={} last_fault={:?} healed={:?}",
+            f.crashes,
+            f.recoveries,
+            f.disk_losses,
+            f.failed_reads,
+            f.tasks_rerun,
+            f.failed_jobs,
+            f.lost_files,
+            f.bytes_re_replicated.as_bytes(),
+            f.repairs_completed,
+            f.last_fault_at.map(|t| t.as_millis()),
+            f.full_replication_at.map(|t| t.as_millis()),
+        )
+        .unwrap();
+        for (tier, v) in report.movement.repaired_to.iter() {
+            writeln!(s, "repair {tier}={}", v.as_bytes()).unwrap();
+        }
+    }
     s
+}
+
+/// The same LRU-OSA quick run under a fixed generated fault schedule:
+/// crash/recovery handling, read failover, task re-runs, and repair
+/// planning are all on the digested path, so a refactor that silently
+/// changes failure behaviour moves this number.
+#[test]
+fn lru_osa_fault_run_is_bit_identical_on_pinned_seed() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let mut cfg = settings.sim(Scenario::policy_pair("lru", "osa"));
+    cfg.faults = FaultSchedule::generate(&FaultConfig::default(), cfg.dfs.workers, 3);
+    assert!(!cfg.faults.is_empty(), "the schedule must inject something");
+    let report = run_trace(cfg, &trace);
+    assert!(report.faults.crashes > 0);
+    let transcript = canonical_transcript(&report);
+    let digest = fnv1a(transcript.as_bytes());
+    assert_eq!(
+        digest,
+        683_779_097_069_421_001,
+        "LRU-OSA fault-run transcript diverged from the pinned baseline \
+         (crashes={}, repairs={}, failed_reads={}, sim_end={}ms)",
+        report.faults.crashes,
+        report.faults.repairs_completed,
+        report.faults.failed_reads,
+        report.sim_end.as_millis()
+    );
 }
 
 #[test]

@@ -243,6 +243,7 @@ mod tests {
                 cpu_secs: 2.0,
             }],
             output_write_secs: 0.5,
+            failed: false,
         }
     }
 
@@ -260,6 +261,7 @@ mod tests {
             movement: MovementStats::default(),
             sim_end: SimTime::from_secs(100),
             bytes_read_by_tier: by_tier,
+            faults: octo_cluster::FaultSummary::default(),
         }
     }
 

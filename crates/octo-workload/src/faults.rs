@@ -1,0 +1,308 @@
+//! Deterministic fault schedules: node crashes, recoveries, and permanent
+//! disk losses injected into a simulation run.
+//!
+//! The paper's Replication Monitor (Figure 3) exists to keep per-tier
+//! replication factors honest while replicas move; its repair half only
+//! shows up when nodes actually die. A [`FaultSchedule`] is the replayable
+//! artifact that makes that happen: a time-sorted list of [`FaultEvent`]s
+//! the cluster simulator applies to the DFS. Schedules come from either an
+//! explicit event list ([`FaultSchedule::from_events`]) or the seed-driven
+//! generator ([`FaultSchedule::generate`]), which draws crash arrivals and
+//! downtimes from exponential distributions — same `(config, seed)` pair,
+//! same schedule, byte for byte.
+//!
+//! Semantics (implemented by `octo-dfs`):
+//!
+//! * **Crash** — the node goes offline. Its memory-tier replicas are lost
+//!   for good (DRAM does not survive a reboot); its disk-tier replicas are
+//!   intact but unreadable until the matching **Recover** event.
+//! * **Recover** — the node comes back; its surviving disk replicas are
+//!   readable again.
+//! * **DiskLoss** — one device's contents are destroyed permanently (the
+//!   node stays up, the device is replaced empty).
+
+use octo_common::{DetRng, NodeId, SimDuration, SimTime, StorageTier};
+use serde::{Deserialize, Serialize};
+
+/// What happens to a node at a fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node goes down (memory replicas lost, disk replicas offline).
+    Crash,
+    /// The node comes back up (disk replicas readable again).
+    Recover,
+    /// One device's contents are permanently destroyed; the node stays up.
+    DiskLoss(StorageTier),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// The affected node.
+    pub node: NodeId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for the seed-driven schedule generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Cluster-wide mean time between crashes (exponential arrivals).
+    pub mtbf: SimDuration,
+    /// Mean node downtime (exponential, floored at 30 s).
+    pub mttr: SimDuration,
+    /// Probability that a crash also destroys the node's HDD contents
+    /// (modelling a disk that does not survive the power cycle).
+    pub disk_loss_chance: f64,
+    /// No crash is scheduled after this horizon (recoveries may land past
+    /// it, so every crashed node eventually comes back).
+    pub horizon: SimDuration,
+    /// At most this fraction of the cluster may be down at once; arrivals
+    /// that would exceed it are dropped.
+    pub max_down_fraction: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            mtbf: SimDuration::from_mins(30),
+            mttr: SimDuration::from_mins(10),
+            disk_loss_chance: 0.1,
+            horizon: SimDuration::from_hours(2),
+            max_down_fraction: 0.34,
+        }
+    }
+}
+
+/// A replayable, time-sorted fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: no faults, identical behaviour to a run without
+    /// fault injection at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from explicit events (sorted by time; ties keep
+    /// the given order, so a caller can express "recover then crash again"
+    /// at the same instant).
+    ///
+    /// # Panics
+    /// If the per-node crash/recover alternation is violated (recovering a
+    /// node that is up, crashing a node that is down) — such a schedule
+    /// cannot be applied.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        let max_node = events.iter().map(|e| e.node.index() + 1).max().unwrap_or(0);
+        let mut down = vec![false; max_node];
+        for e in &events {
+            match e.kind {
+                FaultKind::Crash => {
+                    assert!(!down[e.node.index()], "{} crashes while down", e.node);
+                    down[e.node.index()] = true;
+                }
+                FaultKind::Recover => {
+                    assert!(down[e.node.index()], "{} recovers while up", e.node);
+                    down[e.node.index()] = false;
+                }
+                FaultKind::DiskLoss(_) => {
+                    assert!(!down[e.node.index()], "{} loses a disk while down", e.node);
+                }
+            }
+        }
+        FaultSchedule { events }
+    }
+
+    /// Draws a schedule for a `workers`-node cluster from `cfg` and `seed`.
+    /// Fully deterministic: the same `(cfg, workers, seed)` triple yields
+    /// the same event list. Every crash gets a matching recovery (possibly
+    /// past the horizon), so the cluster always heals eventually.
+    pub fn generate(cfg: &FaultConfig, workers: u32, seed: u64) -> Self {
+        assert!(workers > 0, "fault schedule needs at least one node");
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xFA17_5C4E_D01E_0000);
+        let mut events = Vec::new();
+        // Per-node instant the node is back up (crashed nodes cannot crash
+        // again until recovered).
+        let mut up_at = vec![SimTime::ZERO; workers as usize];
+        let max_down = (((workers as f64) * cfg.max_down_fraction).floor() as usize).max(1);
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = rng.exponential(cfg.mtbf.as_millis() as f64).max(1_000.0);
+            t += SimDuration::from_millis(gap as u64);
+            if t.duration_since(SimTime::ZERO) > cfg.horizon {
+                break;
+            }
+            let up: Vec<u32> = (0..workers).filter(|n| up_at[*n as usize] <= t).collect();
+            if workers as usize - up.len() >= max_down || up.is_empty() {
+                continue; // too many nodes already down: drop this arrival
+            }
+            let node = NodeId(up[rng.index(up.len())]);
+            let downtime = SimDuration::from_millis(
+                rng.exponential(cfg.mttr.as_millis() as f64).max(30_000.0) as u64,
+            );
+            events.push(FaultEvent {
+                at: t,
+                node,
+                kind: FaultKind::Crash,
+            });
+            if rng.chance(cfg.disk_loss_chance) {
+                // The HDD does not survive the power cycle: its contents are
+                // gone when the node returns.
+                events.push(FaultEvent {
+                    at: t + downtime,
+                    node,
+                    kind: FaultKind::DiskLoss(StorageTier::Hdd),
+                });
+            }
+            events.push(FaultEvent {
+                at: t + downtime,
+                node,
+                kind: FaultKind::Recover,
+            });
+            up_at[node.index()] = t + downtime + SimDuration::from_millis(1);
+        }
+        // DiskLoss is emitted at the same instant as the recovery; order it
+        // after the Recover so the node is up when the device is wiped.
+        events.sort_by_key(|e| {
+            (
+                e.at,
+                match e.kind {
+                    FaultKind::Crash => 0u8,
+                    FaultKind::Recover => 1,
+                    FaultKind::DiskLoss(_) => 2,
+                },
+            )
+        });
+        FaultSchedule { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the schedule has no events (fault handling and repair are
+    /// disabled entirely, preserving bit-identical no-fault runs).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// How many `Recover` events the schedule holds for `node` — the
+    /// simulator uses this to tell "offline until recovery" apart from
+    /// "down for good".
+    pub fn recoveries_for(&self, node: NodeId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.kind == FaultKind::Recover)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FaultConfig::default();
+        let a = FaultSchedule::generate(&cfg, 8, 7);
+        let b = FaultSchedule::generate(&cfg, 8, 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&cfg, 8, 8);
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(!a.is_empty(), "a 2h horizon at 30min MTBF yields crashes");
+    }
+
+    #[test]
+    fn every_crash_gets_a_recovery() {
+        let sched = FaultSchedule::generate(&FaultConfig::default(), 6, 3);
+        let mut down: Vec<bool> = vec![false; 6];
+        for e in sched.events() {
+            match e.kind {
+                FaultKind::Crash => {
+                    assert!(!down[e.node.index()], "double crash");
+                    down[e.node.index()] = true;
+                }
+                FaultKind::Recover => {
+                    assert!(down[e.node.index()], "recovery without crash");
+                    down[e.node.index()] = false;
+                }
+                FaultKind::DiskLoss(_) => {}
+            }
+        }
+        assert!(down.iter().all(|d| !d), "all nodes recover eventually");
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let sched = FaultSchedule::generate(&FaultConfig::default(), 8, 11);
+        for w in sched.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn concurrent_failures_are_capped() {
+        let cfg = FaultConfig {
+            mtbf: SimDuration::from_mins(2),
+            mttr: SimDuration::from_hours(3), // nobody recovers in-horizon
+            max_down_fraction: 0.34,
+            ..FaultConfig::default()
+        };
+        let sched = FaultSchedule::generate(&cfg, 9, 5);
+        let mut down = 0i32;
+        let mut max_concurrent = 0i32;
+        for e in sched.events() {
+            match e.kind {
+                FaultKind::Crash => down += 1,
+                FaultKind::Recover => down -= 1,
+                FaultKind::DiskLoss(_) => {}
+            }
+            max_concurrent = max_concurrent.max(down);
+        }
+        assert!(
+            max_concurrent <= 3,
+            "at most floor(9 * 0.34) nodes down at once, saw {max_concurrent}"
+        );
+    }
+
+    #[test]
+    fn explicit_schedules_sort_and_validate() {
+        let sched = FaultSchedule::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(100),
+                node: NodeId(1),
+                kind: FaultKind::Recover,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                node: NodeId(1),
+                kind: FaultKind::Crash,
+            },
+        ]);
+        assert_eq!(sched.events()[0].kind, FaultKind::Crash);
+        assert_eq!(sched.recoveries_for(NodeId(1)), 1);
+        assert_eq!(sched.recoveries_for(NodeId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovers while up")]
+    fn invalid_alternation_panics() {
+        FaultSchedule::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            node: NodeId(0),
+            kind: FaultKind::Recover,
+        }]);
+    }
+}

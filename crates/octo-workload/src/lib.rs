@@ -8,9 +8,11 @@
 //! seedable trace that the cluster simulator replays.
 
 pub mod bins;
+pub mod faults;
 pub mod generator;
 pub mod trace;
 
 pub use bins::SizeBin;
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
 pub use generator::{generate, WorkloadConfig};
 pub use trace::{FileSpec, JobSpec, Trace, TraceKind};
