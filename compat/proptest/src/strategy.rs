@@ -125,7 +125,7 @@ pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S> {
     VecStrategy { element, lo, hi }
 }
 
-/// Length specifier for [`vec`]: a `usize` range or an exact length.
+/// Length specifier for [`vec()`]: a `usize` range or an exact length.
 pub trait VecLen {
     /// Inclusive (lo, hi) bounds.
     fn bounds(&self) -> (usize, usize);
@@ -150,7 +150,7 @@ impl VecLen for usize {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,7 +1,10 @@
 //! The discrete-event cluster simulator.
 //!
 //! Replays a [`Trace`] against a [`TieredDfs`] under one of the four
-//! [`Scenario`]s, with MapReduce-style execution:
+//! [`Scenario`]s, with MapReduce-style execution. Traces come from the
+//! SWIM-style generator (`octo_workload::generate`), or from event-level
+//! access logs compiled down to the same job stream — [`run_event_trace`]
+//! is the one-call entry point for the latter:
 //!
 //! * Each job spawns one map task per input block; tasks occupy node slots
 //!   (locality-first FIFO scheduling, deliberately **tier-unaware** — a
@@ -41,7 +44,7 @@ use octo_common::{ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime,
 use octo_dfs::{DfsConfig, RepairPlanner, TieredDfs, TransferId};
 use octo_policies::{TieringConfig, TieringEngine};
 use octo_simkit::{EventQueue, FlowModel};
-use octo_workload::{FaultKind, FaultSchedule, Trace};
+use octo_workload::{CompileConfig, EventTrace, FaultKind, FaultSchedule, Trace, TraceError};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Simulation parameters (hardware config + execution model constants).
@@ -110,6 +113,9 @@ enum Event {
     },
     Monitor,
     DeleteTemp(FileId),
+    /// Explicit deletion of a trace input dataset (index into
+    /// `Trace::files`), scheduled from `Trace::deletes`.
+    DeleteInput(usize),
     Fault(usize),
 }
 
@@ -211,6 +217,11 @@ impl<'t> ClusterSim<'t> {
         for (i, j) in trace.jobs.iter().enumerate() {
             queue.schedule(j.submit, Event::Submit(i));
         }
+        // Scheduled after the submit loop so a same-instant job still sees
+        // the file (the event queue is FIFO for simultaneous events).
+        for d in &trace.deletes {
+            queue.schedule(d.at, Event::DeleteInput(d.file));
+        }
         for (i, ev) in cfg.faults.events().iter().enumerate() {
             queue.schedule(ev.at, Event::Fault(i));
         }
@@ -248,9 +259,24 @@ impl<'t> ClusterSim<'t> {
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> RunReport {
-        let horizon = SimTime::from_secs(48 * 3600);
+        // Runaway guard: every externally-scheduled event (ingests, job
+        // submissions, input deletions, faults) is known up front, so if
+        // the clock gets 48 h past the last of them, internal event
+        // scheduling has gone into a loop. Relative to the trace end, not
+        // absolute, so long audit-log traces replay fine.
+        let input_end = self
+            .trace
+            .files
+            .iter()
+            .map(|f| f.created)
+            .chain(self.trace.jobs.iter().map(|j| j.submit))
+            .chain(self.trace.deletes.iter().map(|d| d.at))
+            .chain(self.cfg.faults.events().iter().map(|e| e.at))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let horizon = input_end + SimDuration::from_hours(48);
         while let Some((now, ev)) = self.queue.pop() {
-            assert!(now < horizon, "simulation ran away past 48h");
+            assert!(now < horizon, "simulation ran away past {horizon}");
             self.handle(ev, now);
             self.pump();
         }
@@ -320,6 +346,7 @@ impl<'t> ClusterSim<'t> {
             Event::FlowTick { version } => self.handle_flow_tick(version, now),
             Event::Monitor => self.handle_monitor(now),
             Event::DeleteTemp(file) => self.handle_delete_temp(file, now),
+            Event::DeleteInput(idx) => self.handle_delete_input(idx, now),
             Event::Fault(i) => self.handle_fault(i, now),
         }
     }
@@ -698,6 +725,40 @@ impl<'t> ClusterSim<'t> {
         }
     }
 
+    /// Deletes a trace input dataset. The trace compiler guarantees no job
+    /// *submits* at or after the deletion instant, but jobs submitted
+    /// earlier may still be reading the file — deletion politely waits for
+    /// them (and for any in-flight policy transfer) with a short retry.
+    fn handle_delete_input(&mut self, idx: usize, now: SimTime) {
+        let Some(file) = self.file_map[idx] else {
+            return; // never ingested (cluster was out of space)
+        };
+        let busy = self
+            .jobs
+            .iter()
+            .any(|j| !j.finished && self.trace.jobs[j.spec].input == idx);
+        if busy {
+            self.queue
+                .schedule(now + SimDuration::from_mins(2), Event::DeleteInput(idx));
+            return;
+        }
+        match self.dfs.delete_file(file) {
+            Ok(_) => {
+                self.engine.notify_deleted(file, now);
+                self.file_map[idx] = None;
+                // Deleting an under-replicated file can empty the degraded
+                // set: the availability clock must see that transition.
+                self.refresh_heal_state(now);
+            }
+            Err(e) if e.kind() == "invalid_state" => {
+                // A transfer is in flight for it; try again shortly.
+                self.queue
+                    .schedule(now + SimDuration::from_mins(2), Event::DeleteInput(idx));
+            }
+            Err(_) => {} // already gone (e.g. lost to a fault)
+        }
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
@@ -966,4 +1027,19 @@ impl<'t> ClusterSim<'t> {
 /// Convenience: build and run in one call.
 pub fn run_trace(cfg: SimConfig, trace: &Trace) -> RunReport {
     ClusterSim::new(cfg, trace).run()
+}
+
+/// Compiles an event-level access trace (parsed JSONL/CSV or a
+/// `octo_workload::synth` product) and runs it in one call. The report's
+/// workload label is the trace's name rather than the generic `SYN` tag,
+/// so matrix reports stay readable.
+pub fn run_event_trace(
+    cfg: SimConfig,
+    events: &EventTrace,
+    compile: &CompileConfig,
+) -> Result<RunReport, TraceError> {
+    let trace = events.compile(compile)?;
+    let mut report = run_trace(cfg, &trace);
+    report.workload = events.name.clone();
+    Ok(report)
 }

@@ -274,3 +274,50 @@ fn dfsio_write_then_read() {
         "tiered read {first_read_tiered:.0} MB/s vs HDD {first_read_hdd:.0} MB/s"
     );
 }
+
+#[test]
+fn event_traces_replay_including_deletes_and_long_horizons() {
+    use octo_cluster::run_event_trace;
+    use octo_common::SimTime;
+    use octo_workload::{CompileConfig, EventTrace, TraceEvent, TraceOp};
+
+    // A multi-day audit log: events far past the old absolute 48h runaway
+    // guard must replay (the guard is relative to the trace end), and a
+    // mid-trace delete of an input must be honoured.
+    let mb = |n| ByteSize::mb(n);
+    let day = 24 * 3600;
+    let ev = |at_s: u64, op, path: &str, bytes| TraceEvent {
+        at: SimTime::from_secs(at_s),
+        client: 0,
+        op,
+        path: path.to_string(),
+        bytes,
+    };
+    let events = EventTrace::new(
+        "audit",
+        vec![
+            ev(0, TraceOp::Write, "/a", mb(64)),
+            ev(60, TraceOp::Write, "/b", mb(128)),
+            ev(600, TraceOp::Read, "/a", mb(64)),
+            ev(1200, TraceOp::Delete, "/a", ByteSize::ZERO),
+            // Two days later the second file is still being read.
+            ev(2 * day + 600, TraceOp::Read, "/b", mb(128)),
+            ev(2 * day + 1200, TraceOp::Open, "/b", mb(128)),
+        ],
+    );
+    let report = run_event_trace(
+        small_sim(Scenario::policy_pair("lru", "osa")),
+        &events,
+        &CompileConfig::default(),
+    )
+    .expect("valid trace replays");
+    assert_eq!(report.workload, "audit");
+    assert_eq!(report.jobs.len(), 3);
+    assert!(report.jobs.iter().all(|j| !j.failed));
+
+    // Reads of the deleted path are rejected at compile time, not at
+    // simulation time.
+    let mut bad = events.clone();
+    bad.events.push(ev(1800, TraceOp::Read, "/a", mb(64)));
+    assert!(run_event_trace(small_sim(Scenario::Hdfs), &bad, &CompileConfig::default()).is_err());
+}

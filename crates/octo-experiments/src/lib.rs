@@ -1,13 +1,32 @@
-//! Experiment drivers: one entry point per table/figure of the paper's
-//! evaluation (§3.1 and §7). The `bench` crate's cargo-bench targets call
-//! these and print paper-style rows; integration tests call them in `quick`
-//! mode to keep CI fast.
+//! Experiment drivers for the paper's evaluation (§3.1 and §7) and for
+//! sweeps beyond it.
+//!
+//! * [`settings`] — [`ExpSettings`]: the shared quick/full fidelity knob
+//!   every driver derives its workload, DFS, and learner configs from.
+//! * [`dfsio`] — the DFSIO write/read throughput study (Figure 2).
+//! * [`workload_stats`] — Table 3 and the Figure 5 CDFs of the generated
+//!   workloads.
+//! * [`endtoend`] — the §7.2–§7.4 policy comparisons (Figures 6–12,
+//!   Table 4): one scenario set at a time against the HDFS baseline.
+//! * [`scalability`] — the §7.5 cluster-size scaling study (Figure 13).
+//! * [`model_eval`] — the §7.6 offline model studies (ROC/AUC,
+//!   incremental-learning modes; Figures 14–16).
+//! * [`matrix`] — the scenario-matrix harness: {policies} × {workloads
+//!   (generated or trace-driven)} × {fault schedules} fanned out across
+//!   worker threads, aggregated into one JSON artifact and a markdown
+//!   comparison table with byte-identical output at any thread count.
+//!
+//! The `bench` crate's cargo-bench targets call these and print
+//! paper-style rows; integration tests call them in `quick` mode to keep
+//! CI fast.
 
 pub mod dfsio;
 pub mod endtoend;
+pub mod matrix;
 pub mod model_eval;
 pub mod scalability;
 pub mod settings;
 pub mod workload_stats;
 
+pub use matrix::{run_matrix, FaultPlan, MatrixCell, MatrixReport, MatrixSpec, MatrixWorkload};
 pub use settings::{ExpSettings, Mode};

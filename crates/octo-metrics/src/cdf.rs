@@ -34,7 +34,7 @@ impl Cdf {
         self.sorted.partition_point(|v| *v <= x) as f64 / self.sorted.len() as f64
     }
 
-    /// The q-quantile (q in [0,1]).
+    /// The q-quantile (q in `[0, 1]`).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.sorted.is_empty() {

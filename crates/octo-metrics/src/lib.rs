@@ -1,15 +1,23 @@
 //! Metrics and reporting: turns raw [`octo_cluster::RunReport`]s into the
-//! numbers the paper's tables and figures show.
+//! numbers the paper's tables and figures show, and into the artifacts the
+//! scenario-matrix harness emits.
 //!
 //! * [`aggregate`] — per-bin completion-time reduction (Fig. 6/10/12),
 //!   cluster-efficiency improvement (Fig. 7/13), tier access distribution
 //!   (Fig. 8), hit ratios (Fig. 9/11), and prefetch accuracy/coverage
 //!   (Table 4).
+//! * [`summary`] — [`RunSummary`], the per-run scalar digest (read
+//!   latency, hit ratios, bytes moved, fault-recovery time) that matrix
+//!   sweeps aggregate and serialize; deterministic given a deterministic
+//!   run.
 //! * [`cdf`] — empirical CDFs (Fig. 5).
 //! * [`table`] — plain-text table rendering for the bench harnesses.
+//! * [`markdown`] — GitHub-flavoured tables for matrix comparison reports.
 
 pub mod aggregate;
 pub mod cdf;
+pub mod markdown;
+pub mod summary;
 pub mod table;
 
 pub use aggregate::{
@@ -18,4 +26,6 @@ pub use aggregate::{
     PrefetchStats, Table3Row,
 };
 pub use cdf::Cdf;
+pub use markdown::{human_bytes, render_markdown_table};
+pub use summary::RunSummary;
 pub use table::render_table;

@@ -1,0 +1,86 @@
+//! GitHub-flavoured markdown rendering for comparison reports.
+
+/// Escapes `|` so arbitrary labels cannot break table geometry.
+fn escape(cell: &str) -> String {
+    cell.replace('|', "\\|")
+}
+
+/// Renders a markdown table. `headers.len()` must match every row's width.
+/// Output is deterministic: same inputs, same bytes.
+pub fn render_markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut out = String::from("|");
+    for h in headers {
+        out.push_str(&format!(" {} |", escape(h)));
+    }
+    out.push_str("\n|");
+    for _ in 0..cols {
+        out.push_str(" --- |");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {} |", escape(cell)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a byte count the way the comparison tables expect: two
+/// significant decimals in the largest fitting unit.
+pub fn human_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_pipe_table() {
+        let t = render_markdown_table(
+            &["policy", "HR"],
+            &[
+                vec!["LRU-OSA".into(), "41%".into()],
+                vec!["XGB-XGB".into(), "48%".into()],
+            ],
+        );
+        assert_eq!(
+            t,
+            "| policy | HR |\n| --- | --- |\n| LRU-OSA | 41% |\n| XGB-XGB | 48% |\n"
+        );
+    }
+
+    #[test]
+    fn escapes_pipes() {
+        let t = render_markdown_table(&["a|b"], &[vec!["x|y".into()]]);
+        assert!(t.contains("a\\|b") && t.contains("x\\|y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        render_markdown_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.00GB");
+    }
+}

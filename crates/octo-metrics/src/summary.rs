@@ -1,0 +1,186 @@
+//! One-struct-per-run scalar summaries, the unit of comparison the
+//! scenario-matrix harness aggregates and serializes.
+
+use octo_cluster::RunReport;
+use octo_common::StorageTier;
+use serde::{Deserialize, Serialize};
+
+/// The scalar outcome of one simulation run: the numbers a policy ×
+/// workload × fault comparison table is built from. Derived entirely from
+/// a [`RunReport`], so it inherits the run's determinism — the same cell
+/// always summarizes to the same bytes of JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Scenario label (e.g. `"LRU-OSA"`).
+    pub scenario: String,
+    /// Workload label (e.g. `"FB"`, `"diurnal"`).
+    pub workload: String,
+    /// Jobs that ran (successful + failed).
+    pub jobs: usize,
+    /// Jobs abandoned to data loss (only non-zero under fault injection).
+    pub failed_jobs: u64,
+    /// Mean completion time of successful jobs, seconds.
+    pub mean_completion_secs: f64,
+    /// Mean per-task input read latency, seconds — the "read latency"
+    /// column of the matrix table.
+    pub mean_read_secs: f64,
+    /// Fraction of tasks served from the memory tier (HR by access).
+    pub hit_ratio: f64,
+    /// Fraction of input bytes served from the memory tier (BHR).
+    pub byte_hit_ratio: f64,
+    /// Fraction of input bytes read from each tier `[MEM, SSD, HDD]`.
+    pub tier_read_fraction: [f64; 3],
+    /// Bytes moved up by upgrade transfers (all tiers).
+    pub bytes_upgraded: u64,
+    /// Bytes moved down by downgrade transfers (all tiers).
+    pub bytes_downgraded: u64,
+    /// Bytes written by repair re-replication.
+    pub bytes_repaired: u64,
+    /// Total policy + repair movement (`bytes_upgraded + bytes_downgraded
+    /// + bytes_repaired`) — the "bytes moved" column.
+    pub bytes_moved: u64,
+    /// Time from the last fault to full re-replication, seconds. `None`
+    /// while the run saw no faults or ended degraded.
+    pub recovery_secs: Option<f64>,
+    /// Tasks re-run because their worker crashed mid-compute.
+    pub tasks_rerun: u64,
+    /// Files that ended the run with an unrecoverable block.
+    pub lost_files: u64,
+    /// When the last simulated event fired, seconds.
+    pub sim_end_secs: f64,
+}
+
+impl RunSummary {
+    /// Summarizes a run.
+    pub fn from_report(report: &RunReport) -> RunSummary {
+        let mut tasks = 0usize;
+        let mut read_secs = 0.0f64;
+        for j in &report.jobs {
+            for t in &j.tasks {
+                tasks += 1;
+                read_secs += t.read_secs;
+            }
+        }
+        let hits = crate::hit_ratio_by_access(report);
+        let total_read = report.total_read().as_bytes();
+        let tier_read_fraction = std::array::from_fn(|i| {
+            if total_read == 0 {
+                0.0
+            } else {
+                report.bytes_read_by_tier[i].as_bytes() as f64 / total_read as f64
+            }
+        });
+        let up: u64 = StorageTier::ALL
+            .iter()
+            .map(|&t| report.movement.upgraded_to.get(t).as_bytes())
+            .sum();
+        let down: u64 = StorageTier::ALL
+            .iter()
+            .map(|&t| report.movement.downgraded_to.get(t).as_bytes())
+            .sum();
+        let repaired = report.movement.bytes_re_replicated().as_bytes();
+        RunSummary {
+            scenario: report.scenario.clone(),
+            workload: report.workload.clone(),
+            jobs: report.jobs.len(),
+            failed_jobs: report.faults.failed_jobs,
+            mean_completion_secs: report.mean_completion_secs(),
+            mean_read_secs: if tasks == 0 {
+                0.0
+            } else {
+                read_secs / tasks as f64
+            },
+            hit_ratio: hits.hr,
+            byte_hit_ratio: hits.bhr,
+            tier_read_fraction,
+            bytes_upgraded: up,
+            bytes_downgraded: down,
+            bytes_repaired: repaired,
+            bytes_moved: up + down + repaired,
+            recovery_secs: report
+                .faults
+                .time_to_full_replication()
+                .map(|d| d.as_secs_f64()),
+            tasks_rerun: report.faults.tasks_rerun,
+            lost_files: report.faults.lost_files,
+            sim_end_secs: report.sim_end.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cluster::{FaultSummary, JobResult, TaskStat};
+    use octo_common::{ByteSize, SimTime};
+    use octo_dfs::MovementStats;
+    use octo_workload::SizeBin;
+
+    fn report() -> RunReport {
+        let jobs = vec![JobResult {
+            bin: SizeBin::A,
+            submit: SimTime::ZERO,
+            finish: SimTime::from_secs(20),
+            input_bytes: ByteSize::mb(100),
+            output_bytes: ByteSize::mb(10),
+            tasks: vec![
+                TaskStat {
+                    read_tier: StorageTier::Memory,
+                    remote: false,
+                    bytes: ByteSize::mb(60),
+                    had_memory_replica: true,
+                    read_secs: 0.5,
+                    cpu_secs: 2.0,
+                },
+                TaskStat {
+                    read_tier: StorageTier::Hdd,
+                    remote: true,
+                    bytes: ByteSize::mb(40),
+                    had_memory_replica: false,
+                    read_secs: 1.5,
+                    cpu_secs: 2.0,
+                },
+            ],
+            output_write_secs: 0.5,
+            failed: false,
+        }];
+        let mut movement = MovementStats::default();
+        *movement.upgraded_to.get_mut(StorageTier::Memory) = ByteSize::mb(64);
+        *movement.downgraded_to.get_mut(StorageTier::Hdd) = ByteSize::mb(32);
+        RunReport {
+            scenario: "LRU-OSA".into(),
+            workload: "FB".into(),
+            jobs,
+            movement,
+            sim_end: SimTime::from_secs(100),
+            bytes_read_by_tier: [ByteSize::mb(60), ByteSize::ZERO, ByteSize::mb(40)],
+            faults: FaultSummary::default(),
+        }
+    }
+
+    #[test]
+    fn summarizes_the_run() {
+        let s = RunSummary::from_report(&report());
+        assert_eq!(s.scenario, "LRU-OSA");
+        assert_eq!(s.jobs, 1);
+        assert!((s.mean_completion_secs - 20.0).abs() < 1e-9);
+        assert!((s.mean_read_secs - 1.0).abs() < 1e-9);
+        assert!((s.hit_ratio - 0.5).abs() < 1e-9);
+        assert!((s.byte_hit_ratio - 0.6).abs() < 1e-9);
+        assert!((s.tier_read_fraction[0] - 0.6).abs() < 1e-9);
+        assert_eq!(s.bytes_upgraded, ByteSize::mb(64).as_bytes());
+        assert_eq!(s.bytes_downgraded, ByteSize::mb(32).as_bytes());
+        assert_eq!(s.bytes_moved, ByteSize::mb(96).as_bytes());
+        assert_eq!(s.recovery_secs, None);
+    }
+
+    #[test]
+    fn summary_serializes_deterministically() {
+        let s = RunSummary::from_report(&report());
+        let a = serde_json::to_string(&s).unwrap();
+        let b = serde_json::to_string(&RunSummary::from_report(&report())).unwrap();
+        assert_eq!(a, b);
+        let back: RunSummary = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,4 +1,4 @@
-//! PACMan's eviction policies: LIFE and LFU-F (paper Table 1, [5]).
+//! PACMan's eviction policies: LIFE and LFU-F (paper Table 1, \[5\]).
 //!
 //! Both partition the candidate files into `P_old` (not used within a time
 //! window, default 9 h) and `P_new` (the rest):

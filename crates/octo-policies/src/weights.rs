@@ -7,7 +7,7 @@
 //!   the decay factor `H / (Δt + H)` is also applied at selection time so
 //!   stale weights do not pin files forever.
 //! * EXD:   `W ← 1 + W·e^(−α·Δt)` (Big SQL's exponential decay), with the
-//!   same decay applied at comparison, following [16].
+//!   same decay applied at comparison, following \[16\].
 
 use crate::framework::{
     effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice, UpgradePolicy,

@@ -97,11 +97,18 @@ impl WorkloadConfig {
         }
     }
 
-    /// Builds the config for a trace kind.
+    /// Builds the config for a trace kind. [`TraceKind::Synthetic`] has no
+    /// published statistics of its own (its workloads come from compiled
+    /// event traces, not this generator), so it falls back to the Facebook
+    /// parameter set with the kind relabelled.
     pub fn for_kind(kind: TraceKind) -> Self {
         match kind {
             TraceKind::Facebook => Self::facebook(),
             TraceKind::Cmu => Self::cmu(),
+            TraceKind::Synthetic => WorkloadConfig {
+                kind: TraceKind::Synthetic,
+                ..Self::facebook()
+            },
         }
     }
 }
@@ -228,6 +235,7 @@ pub fn generate(cfg: &WorkloadConfig, seed: u64) -> Trace {
         seed,
         files,
         jobs,
+        deletes: Vec::new(),
     }
 }
 

@@ -12,6 +12,10 @@ pub enum TraceKind {
     Facebook,
     /// The CMU OpenCloud trace (longer, semi-periodic re-access gaps).
     Cmu,
+    /// A workload compiled from an event-level access trace (either a
+    /// parsed JSONL/CSV file or one of the [`crate::synth`] generators)
+    /// rather than synthesized from the paper's published statistics.
+    Synthetic,
 }
 
 impl TraceKind {
@@ -20,6 +24,7 @@ impl TraceKind {
         match self {
             TraceKind::Facebook => "FB",
             TraceKind::Cmu => "CMU",
+            TraceKind::Synthetic => "SYN",
         }
     }
 }
@@ -61,6 +66,20 @@ pub struct JobSpec {
     pub bin: SizeBin,
 }
 
+/// An explicit deletion of an input dataset at a point in simulated time.
+///
+/// The SWIM-style generator never emits these (its only deletions are the
+/// simulator-managed temporary job outputs), but event-level traces can
+/// delete inputs mid-run; the compiler guarantees no job reads the file at
+/// or after its deletion instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeleteSpec {
+    /// When the file is removed from the DFS.
+    pub at: SimTime,
+    /// Index into [`Trace::files`] of the dataset being deleted.
+    pub file: usize,
+}
+
 /// A complete synthetic workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
@@ -72,6 +91,9 @@ pub struct Trace {
     pub files: Vec<FileSpec>,
     /// Jobs sorted by submission time.
     pub jobs: Vec<JobSpec>,
+    /// Explicit input deletions sorted by time (empty for generated
+    /// workloads; populated by [`crate::events::EventTrace::compile`]).
+    pub deletes: Vec<DeleteSpec>,
 }
 
 impl Trace {

@@ -1,0 +1,112 @@
+//! Property tests for the event-trace interchange formats: any event list
+//! survives a JSONL and a CSV round-trip bit-for-bit, and malformed input
+//! is rejected with the offending line number.
+
+use octo_common::{ByteSize, SimTime};
+use octo_workload::{EventTrace, TraceError, TraceEvent, TraceOp};
+use proptest::prelude::*;
+
+const OPS: [TraceOp; 4] = [
+    TraceOp::Open,
+    TraceOp::Read,
+    TraceOp::Write,
+    TraceOp::Delete,
+];
+
+/// The trace in canonical (stably time-sorted) order, which is what both
+/// serializers emit.
+fn canonical(trace: &EventTrace) -> EventTrace {
+    let mut events = trace.events.clone();
+    events.sort_by_key(|e| e.at);
+    EventTrace::new(trace.name.clone(), events)
+}
+
+proptest! {
+    #[test]
+    fn jsonl_round_trips_any_event_list(
+        ats in proptest::collection::vec(0u64..50_000_000, 1..60),
+        clients in proptest::collection::vec(0u32..64, 1..60),
+        ops in proptest::collection::vec(0usize..4, 1..60),
+        paths in proptest::collection::vec("/[a-z]{1,6}/[a-z0-9_.]{1,10}", 1..60),
+        bytes in proptest::collection::vec(0u64..5_000_000_000, 1..60),
+    ) {
+        let n = ats.len().min(clients.len()).min(ops.len()).min(paths.len()).min(bytes.len());
+        let events: Vec<TraceEvent> = (0..n)
+            .map(|i| TraceEvent {
+                at: SimTime::from_millis(ats[i]),
+                client: clients[i],
+                op: OPS[ops[i]],
+                path: paths[i].clone(),
+                bytes: ByteSize::from_bytes(bytes[i]),
+            })
+            .collect();
+        let trace = EventTrace::new("prop", events);
+        let expected = canonical(&trace);
+
+        let jsonl = trace.to_jsonl();
+        let parsed = EventTrace::from_jsonl("prop", &jsonl).expect("own JSONL parses");
+        prop_assert_eq!(&parsed, &expected);
+        prop_assert_eq!(parsed.to_jsonl(), jsonl, "serialization is a fixed point");
+
+        let csv = trace.to_csv().expect("paths are CSV-safe");
+        let parsed = EventTrace::from_csv("prop", &csv).expect("own CSV parses");
+        prop_assert_eq!(&parsed, &expected);
+        prop_assert_eq!(parsed.to_csv().expect("still CSV-safe"), csv);
+    }
+
+    #[test]
+    fn corrupting_any_jsonl_line_is_reported_with_its_number(
+        line_no in 1usize..6,
+        junk in "[a-z]{3,10}",
+    ) {
+        // Five valid lines, one replaced by junk: the parser must fail and
+        // name that exact line.
+        let good = "{\"at_ms\":1,\"client\":0,\"op\":\"read\",\"path\":\"/x\",\"bytes\":1}";
+        let lines: Vec<&str> = (1..=5)
+            .map(|i| if i == line_no { junk.as_str() } else { good })
+            .collect();
+        let text = lines.join("\n");
+        match EventTrace::from_jsonl("bad", &text) {
+            Err(TraceError::Parse { line, .. }) => prop_assert_eq!(line, line_no),
+            other => prop_assert!(false, "expected a parse error, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn csv_malformed_rows_name_their_line() {
+    let cases: &[(&str, usize)] = &[
+        // Bad header.
+        ("time,who,op,path,bytes\n", 1),
+        // Wrong arity.
+        ("at_ms,client,op,path,bytes\n1,2,read,/x\n", 2),
+        // Non-numeric timestamp.
+        ("at_ms,client,op,path,bytes\nxx,2,read,/x,9\n", 2),
+        // Client id above u32::MAX must error, not silently truncate.
+        ("at_ms,client,op,path,bytes\n1,4294967296,read,/x,9\n", 2),
+        // Unknown op, later line.
+        (
+            "at_ms,client,op,path,bytes\n1,2,read,/x,9\n1,2,chmod,/x,9\n",
+            3,
+        ),
+        // Empty path.
+        ("at_ms,client,op,path,bytes\n1,2,read,,9\n", 2),
+    ];
+    for (text, want_line) in cases {
+        match EventTrace::from_csv("bad", text) {
+            Err(TraceError::Parse { line, msg }) => {
+                assert_eq!(line, *want_line, "case {text:?} ({msg})")
+            }
+            other => panic!("case {text:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn missing_fields_in_jsonl_are_parse_errors() {
+    let text = "{\"at_ms\":1,\"client\":0,\"op\":\"read\",\"path\":\"/x\"}";
+    assert!(matches!(
+        EventTrace::from_jsonl("bad", text),
+        Err(TraceError::Parse { line: 1, .. })
+    ));
+}
