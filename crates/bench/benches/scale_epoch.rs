@@ -1,0 +1,108 @@
+//! Million-file scale bench: drives commit/access/epoch cycles through
+//! the sharded DFS core and records throughput, epoch latency, and a
+//! peak-RSS proxy to `BENCH_scale.json`.
+//!
+//! Quick mode (CI: `OCTO_BENCH_MODE=quick` or `--quick`) runs one million
+//! files for 50 epochs; full mode doubles both. The JSON is the scaling
+//! baseline future PRs compare against:
+//!
+//! ```text
+//! OCTO_BENCH_MODE=quick cargo bench --bench scale_epoch
+//! ```
+
+use bench::banner;
+use octo_experiments::{run_scale, ScaleConfig};
+
+fn quick_mode() -> bool {
+    std::env::var("OCTO_BENCH_MODE").as_deref() == Ok("quick")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let quick = quick_mode();
+    banner(
+        "Million-file commit/access/epoch scalability (sharded DFS core)",
+        "motivation: the ROADMAP's production-scale target — tiering \
+         decisions must stay cheap as the namespace grows past what §7 \
+         ever deploys",
+    );
+    let cfg = if quick {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::full()
+    };
+    println!(
+        "\nfiles={} epochs={} accesses/epoch={} upgrades/epoch={}",
+        cfg.files, cfg.epochs, cfg.accesses_per_epoch, cfg.upgrades_per_epoch
+    );
+
+    let report = run_scale(&cfg);
+
+    println!(
+        "\ningest: {:.2}s ({:.0} files/s)",
+        report.ingest_secs, report.ingest_files_per_sec
+    );
+    println!(
+        "accesses: {} ({:.0}/s, rank-selected through the committed index)",
+        report.accesses, report.accesses_per_sec
+    );
+    println!(
+        "epochs: mean {:.2} ms, max {:.2} ms, {} transfers applied",
+        report.mean_epoch_ms(),
+        report.max_epoch_ms(),
+        report.moves
+    );
+    println!(
+        "memory: peak RSS proxy {} kB, stats bookkeeping {} bytes ({} B/file)",
+        report.peak_rss_kb,
+        report.stats_memory_bytes,
+        report.stats_memory_bytes as u64 / report.files.max(1)
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"scale_epoch\",\n  \"mode\": \"{}\",\n  \"policy\": \"xgb\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"files\": {},\n  \"epochs\": {},\n  \"ingest_secs\": {:.4},\n  \
+         \"ingest_files_per_sec\": {:.1},\n  \"accesses\": {},\n  \
+         \"accesses_per_sec\": {:.1},\n  \"mean_epoch_ms\": {:.4},\n  \
+         \"max_epoch_ms\": {:.4},\n  \"moves\": {},\n  \"peak_rss_kb\": {},\n  \
+         \"stats_memory_bytes\": {},\n",
+        report.files,
+        report.epochs,
+        report.ingest_secs,
+        report.ingest_files_per_sec,
+        report.accesses,
+        report.accesses_per_sec,
+        report.mean_epoch_ms(),
+        report.max_epoch_ms(),
+        report.moves,
+        report.peak_rss_kb,
+        report.stats_memory_bytes,
+    ));
+    json.push_str("  \"epoch_ms\": [");
+    for (i, ms) in report.epoch_ms.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("{ms:.3}"));
+    }
+    json.push_str("]\n}\n");
+
+    // Default to the workspace root (cargo runs benches from the package
+    // dir); overridable for CI artifact staging.
+    let out = std::env::var("OCTO_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_scale.json");
+    println!("\nwrote {out}");
+
+    assert_eq!(
+        report.epoch_ms.len(),
+        cfg.epochs as usize,
+        "every epoch must complete"
+    );
+    assert!(report.moves > 0, "epochs must schedule transfers");
+}

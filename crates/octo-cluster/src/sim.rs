@@ -195,6 +195,13 @@ pub struct ClusterSim<'t> {
     /// True while a Monitor event sits in the queue (fault handlers re-arm
     /// the monitor without double-scheduling it).
     monitor_armed: bool,
+    /// Flow-model version the last scheduled completion wakeup was computed
+    /// under. Completion scheduling is batched per version: events that do
+    /// not touch the flow model skip the O(flows) next-completion scan, and
+    /// the already-scheduled wakeup (same version, earlier or equal time)
+    /// still fires — behaviour is bit-identical because a same-version
+    /// duplicate wakeup never completes anything the first one does not.
+    scheduled_flow_version: Option<u64>,
     repair: RepairPlanner,
     fstats: FaultSummary,
 }
@@ -240,6 +247,7 @@ impl<'t> ClusterSim<'t> {
             blocked: Vec::new(),
             pending_recoveries,
             monitor_armed: true,
+            scheduled_flow_version: None,
             repair: RepairPlanner::new(cfg.repair_bandwidth),
             fstats: FaultSummary::default(),
             cfg,
@@ -309,15 +317,9 @@ impl<'t> ClusterSim<'t> {
         let movement = *self.dfs.movement_stats();
         self.fstats.bytes_re_replicated = movement.bytes_re_replicated();
         self.fstats.repairs_completed = movement.repairs_completed;
-        self.fstats.lost_files = self
-            .dfs
-            .iter_files()
-            .filter(|m| {
-                m.blocks
-                    .iter()
-                    .any(|b| self.dfs.block_info(*b).replicas().is_empty())
-            })
-            .count() as u64;
+        // Walks the incrementally-maintained degraded set (every
+        // zero-replica block is deficient), not the whole namespace.
+        self.fstats.lost_files = self.dfs.lost_files().count() as u64;
         RunReport {
             scenario: self.cfg.scenario.label(),
             workload: self.trace.kind.label().to_string(),
@@ -1017,9 +1019,16 @@ impl<'t> ClusterSim<'t> {
     }
 
     /// Schedules the next flow-completion wakeup (stale ones are ignored).
+    /// Batched per flow-model version: if the model has not changed since
+    /// the last scheduled wakeup, that wakeup is still valid and nothing
+    /// needs recomputing.
     fn pump(&mut self) {
+        if self.scheduled_flow_version == Some(self.flows.version()) {
+            return;
+        }
         if let Some((t, v)) = self.flows.next_completion(self.queue.now()) {
             self.queue.schedule(t, Event::FlowTick { version: v });
+            self.scheduled_flow_version = Some(v);
         }
     }
 }

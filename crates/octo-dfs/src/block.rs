@@ -10,10 +10,19 @@
 //!
 //! The manager also tracks under-replication incrementally for the
 //! Replication Monitor: every replica change refreshes the owning block's
-//! deficiency (`live replicas < target`), and `degraded` holds the files
-//! with at least one deficient block — so "what needs repair?" is a set
-//! walk, not a namespace scan.
+//! deficiency (`live replicas < target`), and the per-shard `degraded`
+//! maps hold the files with at least one deficient block — so "what needs
+//! repair?" is a set walk, not a namespace scan.
+//!
+//! All per-file indexes are partitioned into [`SHARD_COUNT`] shards keyed
+//! by [`shard_of`]`(file)` (see [`crate::shard`]): the per-tier inverted
+//! index and the degraded map live per shard and are k-way merged on
+//! iteration (same global order as the old single trees, bit for bit),
+//! while per-file replica counts are dense per-shard arrays — an O(1)
+//! lookup with no hashing. Aggregates that must answer in O(1)
+//! (`fully_replicated`) are maintained globally at update time.
 
+use crate::shard::{shard_of, shard_slot, MergeAsc, SHARD_COUNT};
 use octo_common::{BlockId, ByteSize, FileId, NodeId, OctoError, PerTier, Result, StorageTier};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -87,24 +96,56 @@ impl BlockInfo {
     }
 }
 
-/// The cluster-wide block catalog.
+/// One shard's slice of the per-file indexes: all bookkeeping for file
+/// `f` lives in shard `shard_of(f)` and nowhere else.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct BlockManager {
-    blocks: Vec<Option<BlockInfo>>,
-    /// `tier -> files with >= 1 block replica on it` (deterministic order).
-    /// Dead replicas count: the bytes still occupy the device.
+struct FileIndexShard {
+    /// `tier -> files (of this shard) with >= 1 block replica on it`
+    /// (ascending by id). Dead replicas count: the bytes still occupy the
+    /// device.
     files_on_tier: PerTier<BTreeSet<FileId>>,
-    /// `file -> per-tier count of block replicas`.
-    tier_counts: HashMap<FileId, PerTier<u32>>,
+    /// Per-file per-tier replica counts, dense by [`shard_slot`]. Absent
+    /// slots and all-zero rows mean "no replicas anywhere".
+    tier_counts: Vec<PerTier<u32>>,
+    /// `file -> number of blocks with live replicas < target`. Keys are
+    /// the under-replicated files the Replication Monitor walks.
+    degraded: BTreeMap<FileId, u32>,
+}
+
+/// The cluster-wide block catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockManager {
+    /// Dense block arena: slot `id` holds block `id`, deletions leave a
+    /// hole. Ids are never reused.
+    blocks: Vec<Option<BlockInfo>>,
+    /// Number of live blocks (maintained, not scanned).
+    live_blocks: usize,
+    /// Per-file indexes, partitioned by `shard_of(file)`.
+    shards: Vec<FileIndexShard>,
+    /// Number of files with at least one deficient block, across all
+    /// shards — the O(1) answer behind `fully_replicated`.
+    degraded_total: usize,
     /// Live replicas per block must reach this target; 0 disables tracking.
     target: u32,
-    /// `file -> number of blocks with live replicas < target`. Keys are the
-    /// under-replicated files the Replication Monitor walks.
-    degraded: BTreeMap<FileId, u32>,
     /// Tiers of replicas a fault destroyed, per still-deficient block:
     /// repair prefers re-creating the copy on the tier it was lost from.
     /// Entries are dropped once the block is back at full replication.
     lost_tiers: HashMap<BlockId, Vec<StorageTier>>,
+}
+
+impl Default for BlockManager {
+    fn default() -> Self {
+        BlockManager {
+            blocks: Vec::new(),
+            live_blocks: 0,
+            shards: (0..SHARD_COUNT)
+                .map(|_| FileIndexShard::default())
+                .collect(),
+            degraded_total: 0,
+            target: 0,
+            lost_tiers: HashMap::new(),
+        }
+    }
 }
 
 impl BlockManager {
@@ -133,6 +174,7 @@ impl BlockManager {
             replicas: Vec::new(),
             deficient: false,
         }));
+        self.live_blocks += 1;
         self.refresh_deficiency(id);
         id
     }
@@ -148,6 +190,34 @@ impl BlockManager {
         self.blocks[id.index()]
             .as_mut()
             .expect("block id refers to a deleted block")
+    }
+
+    /// Counts one more deficient block against `file` in its shard's
+    /// degraded map (and the global file count on a 0 -> 1 transition).
+    fn degrade_file(&mut self, file: FileId) {
+        let n = self.shards[shard_of(file)]
+            .degraded
+            .entry(file)
+            .or_insert(0);
+        if *n == 0 {
+            self.degraded_total += 1;
+        }
+        *n += 1;
+    }
+
+    /// Removes one deficient-block count from `file`, dropping it from the
+    /// degraded map (and the global file count) at zero.
+    fn undegrade_file(&mut self, file: FileId) {
+        let shard = &mut self.shards[shard_of(file)];
+        let n = shard
+            .degraded
+            .get_mut(&file)
+            .expect("deficient block tracked");
+        *n -= 1;
+        if *n == 0 {
+            shard.degraded.remove(&file);
+            self.degraded_total -= 1;
+        }
     }
 
     /// Re-evaluates one block's deficiency after a replica change and keeps
@@ -169,16 +239,9 @@ impl BlockManager {
         }
         self.block_mut(block).deficient = now;
         if now {
-            *self.degraded.entry(file).or_insert(0) += 1;
+            self.degrade_file(file);
         } else {
-            let n = self
-                .degraded
-                .get_mut(&file)
-                .expect("deficient block tracked");
-            *n -= 1;
-            if *n == 0 {
-                self.degraded.remove(&file);
-            }
+            self.undegrade_file(file);
             // Fully replicated again: the loss record served its purpose.
             self.lost_tiers.remove(&block);
         }
@@ -186,32 +249,28 @@ impl BlockManager {
 
     /// Drops a deleted block's contribution to the degraded index.
     fn forget_deficiency(&mut self, file: FileId, was_deficient: bool) {
-        if !was_deficient {
-            return;
-        }
-        let n = self
-            .degraded
-            .get_mut(&file)
-            .expect("deficient block tracked");
-        *n -= 1;
-        if *n == 0 {
-            self.degraded.remove(&file);
+        if was_deficient {
+            self.undegrade_file(file);
         }
     }
 
     fn bump_tier_count(&mut self, file: FileId, tier: StorageTier, delta: i32) {
-        let counts = self.tier_counts.entry(file).or_default();
-        let c = counts.get_mut(tier);
+        let shard = &mut self.shards[shard_of(file)];
+        let slot = shard_slot(file);
+        if slot >= shard.tier_counts.len() {
+            shard.tier_counts.resize_with(slot + 1, PerTier::default);
+        }
+        let c = shard.tier_counts[slot].get_mut(tier);
         if delta > 0 {
             *c += delta as u32;
             if *c == delta as u32 {
-                self.files_on_tier.get_mut(tier).insert(file);
+                shard.files_on_tier.get_mut(tier).insert(file);
             }
         } else {
             debug_assert!(*c >= (-delta) as u32, "tier count underflow");
             *c = c.saturating_sub((-delta) as u32);
             if *c == 0 {
-                self.files_on_tier.get_mut(tier).remove(&file);
+                shard.files_on_tier.get_mut(tier).remove(&file);
             }
         }
     }
@@ -376,14 +435,21 @@ impl BlockManager {
     }
 
     /// Files with at least one block whose live replica count is below the
-    /// target, ascending by id. Incrementally maintained: no scan.
+    /// target, ascending by id. Incrementally maintained: no scan — a
+    /// k-way merge over the per-shard degraded maps.
     pub fn degraded_files(&self) -> impl Iterator<Item = FileId> + '_ {
-        self.degraded.keys().copied()
+        MergeAsc::new(self.shards.iter().map(|s| s.degraded.keys().copied()))
     }
 
-    /// True when no block anywhere is under-replicated.
+    /// True when no block anywhere is under-replicated. O(1): a globally
+    /// maintained count over the per-shard degraded maps.
     pub fn fully_replicated(&self) -> bool {
-        self.degraded.is_empty()
+        self.degraded_total == 0
+    }
+
+    /// Number of files with at least one under-replicated block. O(1).
+    pub fn degraded_file_count(&self) -> usize {
+        self.degraded_total
     }
 
     /// The configured live-replica target (0 = tracking disabled).
@@ -397,38 +463,65 @@ impl BlockManager {
         let info = self.blocks[block.index()]
             .take()
             .expect("deleting a dead block");
+        self.live_blocks -= 1;
         self.forget_deficiency(info.file, info.deficient);
         self.lost_tiers.remove(&block);
         for r in &info.replicas {
             self.bump_tier_count(info.file, r.tier, -1);
         }
-        // Drop the per-file entry once no replica remains anywhere.
-        if let Some(counts) = self.tier_counts.get(&info.file) {
-            if counts.iter().all(|(_, c)| *c == 0) {
-                self.tier_counts.remove(&info.file);
-            }
-        }
+        // The dense per-shard count rows simply return to all-zero; no
+        // per-file entry needs dropping.
         info.replicas
     }
 
-    /// True if `file` has at least one block replica on `tier`.
+    /// True if `file` has at least one block replica on `tier`. O(1): a
+    /// dense per-shard array lookup, no tree or hash probe.
     pub fn file_on_tier(&self, file: FileId, tier: StorageTier) -> bool {
-        self.files_on_tier.get(tier).contains(&file)
+        self.file_tier_count(file, tier) > 0
     }
 
-    /// Number of block replicas `file` has on `tier`.
+    /// Number of block replicas `file` has on `tier`. O(1).
     pub fn file_tier_count(&self, file: FileId, tier: StorageTier) -> u32 {
-        self.tier_counts.get(&file).map_or(0, |c| *c.get(tier))
+        self.shards[shard_of(file)]
+            .tier_counts
+            .get(shard_slot(file))
+            .map_or(0, |c| *c.get(tier))
     }
 
-    /// Files with at least one block replica on `tier`, ascending by id.
+    /// Files with at least one block replica on `tier`, ascending by id: a
+    /// k-way merge over the per-shard inverted indexes.
     pub fn files_on_tier(&self, tier: StorageTier) -> impl Iterator<Item = FileId> + '_ {
-        self.files_on_tier.get(tier).iter().copied()
+        MergeAsc::new(
+            self.shards
+                .iter()
+                .map(move |s| s.files_on_tier.get(tier).iter().copied()),
+        )
     }
 
-    /// Number of live blocks (diagnostics).
+    /// The number of index shards (diagnostics and property tests).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's slice of the per-tier inverted index, ascending by id
+    /// (property tests cross-check shard placement and per-shard order).
+    pub fn shard_files_on_tier(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+    ) -> impl Iterator<Item = FileId> + '_ {
+        self.shards[shard].files_on_tier.get(tier).iter().copied()
+    }
+
+    /// One shard's slice of the degraded map as `(file, deficient blocks)`,
+    /// ascending by id.
+    pub fn shard_degraded_files(&self, shard: usize) -> impl Iterator<Item = (FileId, u32)> + '_ {
+        self.shards[shard].degraded.iter().map(|(f, n)| (*f, *n))
+    }
+
+    /// Number of live blocks. O(1): a maintained counter.
     pub fn live_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| b.is_some()).count()
+        self.live_blocks
     }
 }
 

@@ -216,8 +216,7 @@ impl TieredDfs {
                 self.nodes.commit_reserved(r.node, r.tier, bsize);
             }
         }
-        let meta = self.files.get_mut(file).expect("checked above");
-        meta.state = FileState::Complete;
+        self.files.set_complete(file);
         self.stats.on_create(file, size, now);
         self.recency.insert(file, now);
         for tier in StorageTier::ALL {
@@ -954,6 +953,12 @@ impl TieredDfs {
         &self.nodes
     }
 
+    /// The block manager (shard-level introspection for diagnostics and
+    /// the property-test oracles).
+    pub fn blocks(&self) -> &BlockManager {
+        &self.blocks
+    }
+
     /// Registers an I/O stream starting against a device (load balancing
     /// input).
     pub fn io_started(&mut self, node: NodeId, tier: StorageTier) {
@@ -985,9 +990,40 @@ impl TieredDfs {
         self.ns.file_count()
     }
 
+    /// Number of committed live files. O(1): the file table maintains a
+    /// counter alongside its committed-file rank index.
+    pub fn committed_file_count(&self) -> usize {
+        self.files.committed_len()
+    }
+
+    /// The `rank`-th committed live file in ascending id order, for
+    /// `rank < committed_file_count()`. O(log files): a rank-select
+    /// against the file table's Fenwick index, returning exactly what
+    /// indexing a `Vec` of all committed files at `rank` would — the ML
+    /// policies' training-sample ticks draw uniform ranks here instead of
+    /// materializing that `Vec` every epoch.
+    pub fn nth_committed_file(&self, rank: usize) -> Option<FileId> {
+        self.files.nth_committed(rank)
+    }
+
     /// Live files in id order.
     pub fn iter_files(&self) -> impl Iterator<Item = &FileMeta> {
         self.files.iter()
+    }
+
+    /// Files with at least one block that currently has *no* replica at
+    /// all (lost for good unless a dead node holding a copy recovers),
+    /// ascending by id. Walks the incrementally-maintained degraded set —
+    /// every zero-replica block is deficient since the replication target
+    /// is >= 1 — instead of scanning the namespace.
+    pub fn lost_files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.blocks.degraded_files().filter(move |f| {
+            self.files.get(*f).is_some_and(|m| {
+                m.blocks
+                    .iter()
+                    .any(|b| self.blocks.block(*b).replicas().is_empty())
+            })
+        })
     }
 
     /// Replication monitor report: blocks whose *live* replica count

@@ -1,4 +1,17 @@
-//! The file table: per-file metadata keyed by [`FileId`].
+//! The file table: a dense arena of per-file metadata keyed by [`FileId`].
+//!
+//! Ids are allocated sequentially and never reused, so the table is a
+//! plain slab: slot `id` holds file `id`, deletions leave a hole. On top
+//! of the arena the table maintains two O(1)/O(log n) answers the rest of
+//! the system needs at scale:
+//!
+//! * a live-file counter (`len` must not scan a million slots);
+//! * a committed-file index — a Fenwick tree over the slots with a 1 for
+//!   every *committed* live file — so "the k-th committed file in
+//!   ascending id order" is an O(log n) rank-select. The ML policies'
+//!   training-sample ticks draw uniform ranks against it instead of
+//!   materializing every committed file into a `Vec` per tick, and the
+//!   selected file for any rank is identical to indexing that `Vec`.
 
 use octo_common::{BlockId, ByteSize, FileId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -23,7 +36,9 @@ pub struct FileMeta {
     pub size: ByteSize,
     /// The file's blocks, in order.
     pub blocks: Vec<BlockId>,
-    /// Lifecycle state.
+    /// Lifecycle state. Mutated only through
+    /// [`FileTable::set_complete`], which keeps the committed-file index
+    /// in sync.
     pub state: FileState,
     /// Creation timestamp.
     pub created: SimTime,
@@ -33,10 +48,81 @@ pub struct FileMeta {
     pub in_flight: u32,
 }
 
-/// Dense table of live files.
+/// A Fenwick (binary indexed) tree over file slots holding a 1 for every
+/// committed live file: prefix sums and rank-select in O(log n), appends
+/// in O(log n).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CommittedIndex {
+    /// 1-based Fenwick array; `tree[i]` sums the slots in
+    /// `(i - lowbit(i), i]`.
+    tree: Vec<u32>,
+    /// Number of committed files (the total of all slots).
+    count: usize,
+}
+
+impl CommittedIndex {
+    /// Sum of slots `0..=pos` (0-based).
+    fn prefix(&self, pos: usize) -> usize {
+        let mut i = pos + 1;
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree[i - 1] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Extends the tree to cover slots `0..len` (new slots hold 0).
+    fn grow(&mut self, len: usize) {
+        while self.tree.len() < len {
+            let i = self.tree.len() + 1; // 1-based index of the new node
+            let low = i - (i & i.wrapping_neg()); // covers (low, i]
+            let below = if low == 0 { 0 } else { self.prefix(low - 1) };
+            let value = if i >= 2 { self.prefix(i - 2) } else { 0 } - below;
+            self.tree.push(value as u32);
+        }
+    }
+
+    fn add(&mut self, pos: usize, delta: i32) {
+        self.grow(pos + 1);
+        let mut i = pos + 1;
+        while i <= self.tree.len() {
+            let v = &mut self.tree[i - 1];
+            *v = v.checked_add_signed(delta).expect("committed bit is 0/1");
+            i += i & i.wrapping_neg();
+        }
+        self.count = self
+            .count
+            .checked_add_signed(delta as isize)
+            .expect("committed count underflow");
+    }
+
+    /// The slot of the `rank`-th set bit (0-based), ascending.
+    fn select(&self, rank: usize) -> Option<usize> {
+        if rank >= self.count {
+            return None;
+        }
+        let mut remaining = rank + 1;
+        let mut pos = 0usize; // 1-based position reached so far
+        let mut step = self.tree.len().next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.tree.len() && (self.tree[next - 1] as usize) < remaining {
+                remaining -= self.tree[next - 1] as usize;
+                pos = next;
+            }
+            step >>= 1;
+        }
+        Some(pos) // first 1-based index with prefix >= rank+1, minus 1
+    }
+}
+
+/// Dense arena of live files.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FileTable {
     files: Vec<Option<FileMeta>>,
+    live: usize,
+    committed: CommittedIndex,
 }
 
 impl FileTable {
@@ -57,6 +143,7 @@ impl FileTable {
             created,
             in_flight: 0,
         }));
+        self.live += 1;
         id
     }
 
@@ -65,14 +152,29 @@ impl FileTable {
         self.files.get(id.index()).and_then(|f| f.as_ref())
     }
 
-    /// Mutable access to a live file.
+    /// Mutable access to a live file. Lifecycle state must be changed
+    /// through [`FileTable::set_complete`] instead, so the committed-file
+    /// index stays consistent.
     pub fn get_mut(&mut self, id: FileId) -> Option<&mut FileMeta> {
         self.files.get_mut(id.index()).and_then(|f| f.as_mut())
     }
 
+    /// Marks a writing file complete and adds it to the committed index.
+    pub fn set_complete(&mut self, id: FileId) {
+        let meta = self.get_mut(id).expect("set_complete on a live file");
+        debug_assert_eq!(meta.state, FileState::Writing, "{id} already committed");
+        meta.state = FileState::Complete;
+        self.committed.add(id.index(), 1);
+    }
+
     /// Removes a file, returning its metadata.
     pub fn remove(&mut self, id: FileId) -> Option<FileMeta> {
-        self.files.get_mut(id.index()).and_then(|f| f.take())
+        let meta = self.files.get_mut(id.index()).and_then(|f| f.take())?;
+        self.live -= 1;
+        if meta.state == FileState::Complete {
+            self.committed.add(id.index(), -1);
+        }
+        Some(meta)
     }
 
     /// Iterates live files in id order.
@@ -80,14 +182,31 @@ impl FileTable {
         self.files.iter().filter_map(|f| f.as_ref())
     }
 
-    /// Number of live files.
+    /// Number of live files. O(1): a maintained counter, not a slot scan.
     pub fn len(&self) -> usize {
-        self.files.iter().filter(|f| f.is_some()).count()
+        self.live
     }
 
     /// True when no files are live.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Number of allocated id slots (live files plus deletion holes).
+    pub fn slots(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of committed live files. O(1).
+    pub fn committed_len(&self) -> usize {
+        self.committed.count
+    }
+
+    /// The `rank`-th committed live file in ascending id order, if
+    /// `rank < committed_len()`. O(log slots): a Fenwick rank-select,
+    /// yielding exactly `iter().filter(committed).nth(rank)`.
+    pub fn nth_committed(&self, rank: usize) -> Option<FileId> {
+        self.committed.select(rank).map(|slot| FileId(slot as u64))
     }
 }
 
@@ -101,7 +220,7 @@ mod tests {
         let id = t.insert("/a/b", ByteSize::mb(10), SimTime::from_secs(1));
         assert_eq!(t.get(id).unwrap().path, "/a/b");
         assert_eq!(t.get(id).unwrap().state, FileState::Writing);
-        t.get_mut(id).unwrap().state = FileState::Complete;
+        t.set_complete(id);
         assert_eq!(t.get(id).unwrap().state, FileState::Complete);
         let meta = t.remove(id).unwrap();
         assert_eq!(meta.id, id);
@@ -120,5 +239,45 @@ mod tests {
         let ids: Vec<_> = t.iter().map(|f| f.id).collect();
         assert_eq!(ids, vec![a, c]);
         assert_eq!(t.len(), 2);
+        assert_eq!(t.slots(), 3);
+    }
+
+    #[test]
+    fn committed_index_tracks_state_transitions() {
+        let mut t = FileTable::new();
+        let ids: Vec<FileId> = (0..10)
+            .map(|i| t.insert(&format!("/f{i}"), ByteSize::mb(1), SimTime::ZERO))
+            .collect();
+        assert_eq!(t.committed_len(), 0);
+        assert_eq!(t.nth_committed(0), None);
+        for &id in &ids {
+            t.set_complete(id);
+        }
+        assert_eq!(t.committed_len(), 10);
+        // Punch holes and verify select skips them.
+        t.remove(ids[0]);
+        t.remove(ids[4]);
+        t.remove(ids[9]);
+        assert_eq!(t.committed_len(), 7);
+        let by_select: Vec<FileId> = (0..7).map(|r| t.nth_committed(r).unwrap()).collect();
+        let by_scan: Vec<FileId> = t
+            .iter()
+            .filter(|m| m.state == FileState::Complete)
+            .map(|m| m.id)
+            .collect();
+        assert_eq!(by_select, by_scan);
+        assert_eq!(t.nth_committed(7), None);
+    }
+
+    #[test]
+    fn uncommitted_files_are_invisible_to_select() {
+        let mut t = FileTable::new();
+        let a = t.insert("/a", ByteSize::mb(1), SimTime::ZERO);
+        let b = t.insert("/b", ByteSize::mb(1), SimTime::ZERO);
+        t.set_complete(b);
+        assert_eq!(t.committed_len(), 1);
+        assert_eq!(t.nth_committed(0), Some(b));
+        t.set_complete(a);
+        assert_eq!(t.nth_committed(0), Some(a));
     }
 }

@@ -17,6 +17,11 @@
 //! * [`recency::RecencyIndex`] — incrementally-maintained per-tier and
 //!   global recency orderings, so LRU/MRU candidate selection is an index
 //!   walk instead of a collect-and-sort over the namespace.
+//! * [`shard`] — the fixed shard partitioning (and order-preserving k-way
+//!   merges) that the block manager's and recency index's per-file
+//!   bookkeeping is distributed over, keeping each ordered index small at
+//!   million-file scale while reproducing the global iteration orders bit
+//!   for bit.
 //! * [`placement::PlacementPolicy`] — the multi-objective placement of
 //!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
 //! * [`replication`] — transfer plans, movement statistics, and the
@@ -37,6 +42,7 @@ pub mod node;
 pub mod placement;
 pub mod recency;
 pub mod replication;
+pub mod shard;
 pub mod stats;
 
 pub use block::{BlockInfo, BlockManager, Replica};
@@ -50,4 +56,5 @@ pub use recency::RecencyIndex;
 pub use replication::{
     BlockAction, BlockTransfer, MovementStats, RepairPlanner, Transfer, TransferId, TransferKind,
 };
+pub use shard::{shard_of, SHARD_COUNT};
 pub use stats::{AccessStats, StatsRegistry};

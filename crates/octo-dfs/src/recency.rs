@@ -20,21 +20,51 @@
 //! (commit, access, delete, transfer completion), never read from stats, so
 //! a property test can cross-check it against a from-scratch recomputation.
 //!
+//! Like the block manager's per-file indexes, the orderings are
+//! partitioned into [`SHARD_COUNT`] shards keyed by [`shard_of`]`(file)`:
+//! each shard keeps its own per-tier LRU trees and global recency tree,
+//! and the public iterators k-way merge them back into exactly the global
+//! order the unsharded trees produced. The authoritative last-used
+//! instants live in a dense slab keyed by [`FileId`] — an array index per
+//! touch, no hashing.
+//!
 //! [`TieredDfs`]: crate::TieredDfs
 
+use crate::shard::{shard_of, MergeAsc, MergeDesc, SHARD_COUNT};
 use octo_common::{FileId, PerTier, SimTime, StorageTier};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+/// One shard's slice of the recency orderings.
+#[derive(Debug, Clone, Default)]
+struct RecencyShard {
+    /// `(last_used, file)` for this shard's files with >= 1 block replica
+    /// on the tier.
+    per_tier: PerTier<BTreeSet<(SimTime, FileId)>>,
+    /// `(last_used, Reverse(file))` over this shard's tracked files.
+    global: BTreeSet<(SimTime, Reverse<FileId>)>,
+}
 
 /// Per-tier and global recency orderings over committed files.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RecencyIndex {
-    /// Authoritative last-used instant per tracked (committed) file.
-    last_used: HashMap<FileId, SimTime>,
-    /// `(last_used, file)` for files with >= 1 block replica on the tier.
-    per_tier: PerTier<BTreeSet<(SimTime, FileId)>>,
-    /// `(last_used, Reverse(file))` over all tracked files.
-    global: BTreeSet<(SimTime, Reverse<FileId>)>,
+    /// Authoritative last-used instant per tracked (committed) file, dense
+    /// by id.
+    last_used: Vec<Option<SimTime>>,
+    /// Number of tracked files.
+    tracked: usize,
+    /// The orderings, partitioned by `shard_of(file)`.
+    shards: Vec<RecencyShard>,
+}
+
+impl Default for RecencyIndex {
+    fn default() -> Self {
+        RecencyIndex {
+            last_used: Vec::new(),
+            tracked: 0,
+            shards: (0..SHARD_COUNT).map(|_| RecencyShard::default()).collect(),
+        }
+    }
 }
 
 impl RecencyIndex {
@@ -43,27 +73,38 @@ impl RecencyIndex {
         Self::default()
     }
 
+    fn last_used_slot(&mut self, file: FileId) -> &mut Option<SimTime> {
+        let i = file.index();
+        if i >= self.last_used.len() {
+            self.last_used.resize(i + 1, None);
+        }
+        &mut self.last_used[i]
+    }
+
     /// Starts tracking a freshly committed file. Tier residency is reported
     /// separately through [`RecencyIndex::set_resident`].
     pub fn insert(&mut self, file: FileId, now: SimTime) {
-        debug_assert!(
-            !self.last_used.contains_key(&file),
-            "{file} already tracked"
-        );
-        self.last_used.insert(file, now);
-        self.global.insert((now, Reverse(file)));
+        let slot = self.last_used_slot(file);
+        debug_assert!(slot.is_none(), "{file} already tracked");
+        *slot = Some(now);
+        self.tracked += 1;
+        self.shards[shard_of(file)]
+            .global
+            .insert((now, Reverse(file)));
     }
 
     /// Moves a file to the front of every ordering it participates in.
     pub fn touch(&mut self, file: FileId, now: SimTime) {
-        let Some(prev) = self.last_used.insert(file, now) else {
+        let Some(prev) = self.last_used_slot(file).replace(now) else {
             debug_assert!(false, "touch for untracked {file}");
+            *self.last_used_slot(file) = None;
             return;
         };
-        self.global.remove(&(prev, Reverse(file)));
-        self.global.insert((now, Reverse(file)));
+        let shard = &mut self.shards[shard_of(file)];
+        shard.global.remove(&(prev, Reverse(file)));
+        shard.global.insert((now, Reverse(file)));
         for tier in StorageTier::ALL {
-            let set = self.per_tier.get_mut(tier);
+            let set = shard.per_tier.get_mut(tier);
             if set.remove(&(prev, file)) {
                 set.insert((now, file));
             }
@@ -72,23 +113,29 @@ impl RecencyIndex {
 
     /// Forgets a deleted file everywhere.
     pub fn remove(&mut self, file: FileId) {
-        let Some(prev) = self.last_used.remove(&file) else {
+        let Some(prev) = self
+            .last_used
+            .get_mut(file.index())
+            .and_then(|slot| slot.take())
+        else {
             return;
         };
-        self.global.remove(&(prev, Reverse(file)));
+        self.tracked -= 1;
+        let shard = &mut self.shards[shard_of(file)];
+        shard.global.remove(&(prev, Reverse(file)));
         for tier in StorageTier::ALL {
-            self.per_tier.get_mut(tier).remove(&(prev, file));
+            shard.per_tier.get_mut(tier).remove(&(prev, file));
         }
     }
 
     /// Declares whether `file` currently holds a replica on `tier`
     /// (idempotent; called after replica placement changes).
     pub fn set_resident(&mut self, file: FileId, tier: StorageTier, resident: bool) {
-        let Some(&t) = self.last_used.get(&file) else {
+        let Some(t) = self.last_used(file) else {
             debug_assert!(!resident, "set_resident for untracked {file}");
             return;
         };
-        let set = self.per_tier.get_mut(tier);
+        let set = self.shards[shard_of(file)].per_tier.get_mut(tier);
         if resident {
             set.insert((t, file));
         } else {
@@ -98,19 +145,24 @@ impl RecencyIndex {
 
     /// The tracked last-used instant of a file, if committed.
     pub fn last_used(&self, file: FileId) -> Option<SimTime> {
-        self.last_used.get(&file).copied()
+        self.last_used.get(file.index()).copied().flatten()
     }
 
     /// Files resident on `tier`, least recently used first; ties break on
-    /// ascending `FileId`.
+    /// ascending `FileId`. A k-way merge over the per-shard LRU trees —
+    /// same global order as one tree, lazily.
     pub fn tier_iter(&self, tier: StorageTier) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
-        self.per_tier.get(tier).iter().copied()
+        MergeAsc::new(
+            self.shards
+                .iter()
+                .map(move |s| s.per_tier.get(tier).iter().copied()),
+        )
     }
 
     /// Like [`RecencyIndex::tier_iter`], but resuming strictly after a
-    /// previously-returned entry — an O(log n) range seek, so a caller
-    /// consuming the LRU order incrementally (one victim per call) does not
-    /// re-walk the prefix it has already exhausted.
+    /// previously-returned entry — an O(log n) range seek per shard, so a
+    /// caller consuming the LRU order incrementally (one victim per call)
+    /// does not re-walk the prefix it has already exhausted.
     pub fn tier_iter_after(
         &self,
         tier: StorageTier,
@@ -121,31 +173,50 @@ impl RecencyIndex {
             Some(entry) => Bound::Excluded(entry),
             None => Bound::Unbounded,
         };
-        self.per_tier
-            .get(tier)
-            .range((lower, Bound::Unbounded))
-            .copied()
+        MergeAsc::new(self.shards.iter().map(move |s| {
+            s.per_tier
+                .get(tier)
+                .range((lower, Bound::Unbounded))
+                .copied()
+        }))
     }
 
     /// All committed files, most recently used first; ties break on
-    /// ascending `FileId`.
+    /// ascending `FileId`. A descending k-way merge over the per-shard
+    /// recency trees.
     pub fn mru_iter(&self) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
-        self.global.iter().rev().map(|&(t, Reverse(f))| (t, f))
+        MergeDesc::new(self.shards.iter().map(|s| s.global.iter().rev().copied()))
+            .map(|(t, Reverse(f))| (t, f))
+    }
+
+    /// One shard's LRU ordering on `tier` (property tests cross-check
+    /// shard placement and per-shard order against a from-scratch scan).
+    pub fn shard_tier_iter(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.shards[shard].per_tier.get(tier).iter().copied()
+    }
+
+    /// The number of shards the orderings are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of files resident on `tier` (diagnostics and tests).
     pub fn tier_len(&self, tier: StorageTier) -> usize {
-        self.per_tier.get(tier).len()
+        self.shards.iter().map(|s| s.per_tier.get(tier).len()).sum()
     }
 
-    /// Number of tracked files (diagnostics and tests).
+    /// Number of tracked files (diagnostics and tests). O(1).
     pub fn len(&self) -> usize {
-        self.last_used.len()
+        self.tracked
     }
 
     /// True when no file is tracked.
     pub fn is_empty(&self) -> bool {
-        self.last_used.is_empty()
+        self.tracked == 0
     }
 }
 

@@ -1,0 +1,175 @@
+//! Shard partitioning of per-file bookkeeping.
+//!
+//! The DFS core keeps its per-file *tables* (file metadata, access stats,
+//! block lists) in dense arenas indexed by [`FileId`], and its per-file
+//! *indexes* (tier residency, recency orderings, under-replication) in a
+//! fixed number of shards chosen deterministically from the id. Sharding
+//! bounds the size of each ordered index — a million-file namespace walks
+//! sixteen ~64k-entry trees instead of one million-entry tree — and gives
+//! every future scaling PR (parallel epoch application, per-shard locks)
+//! a partition boundary that already preserves the global orderings.
+//!
+//! Invariants every sharded index upholds:
+//!
+//! * **Placement** — all bookkeeping for file `f` lives in shard
+//!   [`shard_of`]`(f)`; no entry for a file ever appears in another shard.
+//! * **Order** — each shard keeps its entries in the same key order the
+//!   old global index used, so a k-way merge over the shards ([`MergeAsc`]
+//!   / [`MergeDesc`]) reproduces the global iteration order *bit for bit*.
+//!   Every pinned digest in the workspace rests on this.
+//! * **Aggregation** — counters that must answer in O(1)
+//!   (`fully_replicated`, live-file counts) are maintained globally at
+//!   update time, not summed over shards on read.
+//!
+//! [`FileId`]: octo_common::FileId
+
+use octo_common::FileId;
+use std::iter::Peekable;
+
+/// Number of shards every per-file index is partitioned into. A power of
+/// two so the shard of an id is a mask, fixed so shard assignment is
+/// deterministic across runs and releases (digests depend on it only
+/// through the merge order, which is shard-count independent).
+pub const SHARD_COUNT: usize = 16;
+
+/// The shard that owns all bookkeeping for `file`.
+#[inline]
+pub fn shard_of(file: FileId) -> usize {
+    (file.raw() as usize) & (SHARD_COUNT - 1)
+}
+
+/// The dense slot of `file` inside its shard's arenas: ids are allocated
+/// sequentially, so ids map round-robin onto shards and `id / SHARD_COUNT`
+/// is a gapless per-shard index.
+#[inline]
+pub fn shard_slot(file: FileId) -> usize {
+    file.index() / SHARD_COUNT
+}
+
+/// K-way ascending merge over per-shard iterators that are each sorted
+/// ascending. Yields the globally sorted order; ties cannot occur because
+/// a key appears in exactly one shard. O(shards) per item — with 16
+/// shards, cheaper in practice than a heap for the short walks the
+/// policies do.
+pub struct MergeAsc<I: Iterator> {
+    heads: Vec<Peekable<I>>,
+}
+
+impl<I: Iterator> MergeAsc<I>
+where
+    I::Item: Ord + Copy,
+{
+    /// Builds the merge from one sorted iterator per shard.
+    pub fn new(iters: impl IntoIterator<Item = I>) -> Self {
+        MergeAsc {
+            heads: iters.into_iter().map(Iterator::peekable).collect(),
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for MergeAsc<I>
+where
+    I::Item: Ord + Copy,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let mut best: Option<(usize, I::Item)> = None;
+        for (i, head) in self.heads.iter_mut().enumerate() {
+            if let Some(&v) = head.peek() {
+                if best.is_none_or(|(_, b)| v < b) {
+                    best = Some((i, v));
+                }
+            }
+        }
+        let (i, v) = best?;
+        self.heads[i].next();
+        Some(v)
+    }
+}
+
+/// K-way *descending* merge over per-shard iterators that are each sorted
+/// descending (e.g. a reversed `BTreeSet` walk per shard).
+pub struct MergeDesc<I: Iterator> {
+    heads: Vec<Peekable<I>>,
+}
+
+impl<I: Iterator> MergeDesc<I>
+where
+    I::Item: Ord + Copy,
+{
+    /// Builds the merge from one descending iterator per shard.
+    pub fn new(iters: impl IntoIterator<Item = I>) -> Self {
+        MergeDesc {
+            heads: iters.into_iter().map(Iterator::peekable).collect(),
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for MergeDesc<I>
+where
+    I::Item: Ord + Copy,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let mut best: Option<(usize, I::Item)> = None;
+        for (i, head) in self.heads.iter_mut().enumerate() {
+            if let Some(&v) = head.peek() {
+                if best.is_none_or(|(_, b)| v > b) {
+                    best = Some((i, v));
+                }
+            }
+        }
+        let (i, v) = best?;
+        self.heads[i].next();
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn shard_assignment_is_a_mask() {
+        assert_eq!(shard_of(FileId(0)), 0);
+        assert_eq!(shard_of(FileId(15)), 15);
+        assert_eq!(shard_of(FileId(16)), 0);
+        assert_eq!(shard_of(FileId(33)), 1);
+        assert_eq!(shard_slot(FileId(0)), 0);
+        assert_eq!(shard_slot(FileId(16)), 1);
+        assert_eq!(shard_slot(FileId(33)), 2);
+    }
+
+    #[test]
+    fn merge_asc_restores_global_order() {
+        let mut shards: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); SHARD_COUNT];
+        for v in [5u64, 1, 99, 42, 17, 16, 0, 31] {
+            shards[(v as usize) % SHARD_COUNT].insert(v);
+        }
+        let merged: Vec<u64> = MergeAsc::new(shards.iter().map(|s| s.iter().copied())).collect();
+        assert_eq!(merged, vec![0, 1, 5, 16, 17, 31, 42, 99]);
+    }
+
+    #[test]
+    fn merge_desc_restores_reverse_order() {
+        let mut shards: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); SHARD_COUNT];
+        for v in [5u64, 1, 99, 42, 17, 16, 0, 31] {
+            shards[(v as usize) % SHARD_COUNT].insert(v);
+        }
+        let merged: Vec<u64> =
+            MergeDesc::new(shards.iter().map(|s| s.iter().rev().copied())).collect();
+        assert_eq!(merged, vec![99, 42, 31, 17, 16, 5, 1, 0]);
+    }
+
+    #[test]
+    fn merges_handle_empty_shards() {
+        let shards: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); SHARD_COUNT];
+        assert_eq!(
+            MergeAsc::new(shards.iter().map(|s| s.iter().copied())).count(),
+            0
+        );
+    }
+}

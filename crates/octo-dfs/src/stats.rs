@@ -7,8 +7,7 @@
 
 use octo_common::{ByteSize, FileId, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Recorded access history of one file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,10 +59,16 @@ impl AccessStats {
 }
 
 /// Registry of [`AccessStats`] for all live files.
+///
+/// A dense slab keyed by [`FileId`]: ids are allocated sequentially and
+/// never reused, so slot `id` holds file `id` and a lookup is an array
+/// index — no hashing on the per-access hot path, and iteration touches
+/// contiguous memory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsRegistry {
     k: usize,
-    files: HashMap<FileId, AccessStats>,
+    files: Vec<Option<AccessStats>>,
+    live: usize,
 }
 
 impl StatsRegistry {
@@ -72,7 +77,8 @@ impl StatsRegistry {
         assert!(k > 0, "access history length must be >= 1");
         StatsRegistry {
             k,
-            files: HashMap::new(),
+            files: Vec::new(),
+            live: 0,
         }
     }
 
@@ -81,23 +87,28 @@ impl StatsRegistry {
         self.k
     }
 
+    fn slot_mut(&mut self, file: FileId) -> &mut Option<AccessStats> {
+        let i = file.index();
+        if i >= self.files.len() {
+            self.files.resize_with(i + 1, || None);
+        }
+        &mut self.files[i]
+    }
+
     /// Registers a newly created file.
     pub fn on_create(&mut self, file: FileId, size: ByteSize, now: SimTime) {
-        match self.files.entry(file) {
-            Entry::Vacant(v) => {
-                v.insert(AccessStats::new(size, now));
-            }
-            Entry::Occupied(_) => {
-                debug_assert!(false, "on_create for already-tracked {file}");
-            }
-        }
+        let slot = self.slot_mut(file);
+        debug_assert!(slot.is_none(), "on_create for already-tracked {file}");
+        *slot = Some(AccessStats::new(size, now));
+        self.live += 1;
     }
 
     /// Records a read access.
     pub fn on_access(&mut self, file: FileId, now: SimTime) {
-        if let Some(s) = self.files.get_mut(&file) {
+        let k = self.k;
+        if let Some(s) = self.files.get_mut(file.index()).and_then(|s| s.as_mut()) {
             s.total_accesses += 1;
-            if s.recent.len() == self.k {
+            if s.recent.len() == k {
                 s.recent.pop_front();
             }
             s.recent.push_back(now);
@@ -108,31 +119,36 @@ impl StatsRegistry {
 
     /// Forgets a deleted file.
     pub fn on_delete(&mut self, file: FileId) {
-        self.files.remove(&file);
+        if let Some(slot) = self.files.get_mut(file.index()) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
     }
 
     /// Statistics of one file.
     pub fn get(&self, file: FileId) -> Option<&AccessStats> {
-        self.files.get(&file)
+        self.files.get(file.index()).and_then(|s| s.as_ref())
     }
 
-    /// Number of tracked files.
+    /// Number of tracked files. O(1).
     pub fn len(&self) -> usize {
-        self.files.len()
+        self.live
     }
 
     /// True when nothing is tracked.
     pub fn is_empty(&self) -> bool {
-        self.files.is_empty()
+        self.live == 0
     }
 
     /// Total bookkeeping bytes across all files (§7.7).
     pub fn approx_memory_bytes(&self) -> usize {
         self.files
-            .values()
+            .iter()
+            .flatten()
             .map(|s| s.approx_memory_bytes())
             .sum::<usize>()
-            + self.files.len() * std::mem::size_of::<FileId>()
+            + self.live * std::mem::size_of::<FileId>()
     }
 }
 

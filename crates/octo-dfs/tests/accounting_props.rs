@@ -1,17 +1,24 @@
-//! Property test: the incrementally-maintained per-tier pending counters
-//! and recency indexes exactly equal values recomputed from scratch, after
-//! an arbitrary interleaving of creates / accesses / transfer plans /
-//! completions / cancellations / deletes.
+//! Property test: the incrementally-maintained per-tier pending counters,
+//! recency indexes, sharded per-file bookkeeping, and the committed-file
+//! rank index exactly equal values recomputed from scratch, after an
+//! arbitrary interleaving of creates / accesses / transfer plans /
+//! completions / cancellations / deletes / node crashes / recoveries /
+//! disk losses.
 //!
 //! The oracles below are the original O(files × blocks) scan
 //! implementations the incremental state replaced (`pending_outgoing` from
 //! `octo-policies`' framework, and the collect-and-sort recency orderings);
-//! they are kept here, test-only, as the ground truth.
+//! they are kept here, test-only, as the ground truth. The shard checks
+//! additionally pin the partitioning invariants: every entry for file `f`
+//! lives in shard `shard_of(f)` and nowhere else, each shard keeps its
+//! slice in global order, and the k-way merged iterators equal the global
+//! scans.
 
-use octo_common::{ByteSize, FileId, PerTier, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, DowngradeTarget, FileState, TieredDfs, TransferId};
+use octo_common::{ByteSize, FileId, NodeId, PerTier, SimTime, StorageTier};
+use octo_dfs::{shard_of, DfsConfig, DowngradeTarget, FileState, TieredDfs, TransferId};
 use proptest::prelude::*;
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 
 const TIERS: [StorageTier; 3] = StorageTier::ALL;
 
@@ -94,13 +101,56 @@ fn scan_global_mru(dfs: &TieredDfs) -> Vec<(SimTime, FileId)> {
     v
 }
 
+/// From-scratch committed files in ascending id order — what the Fenwick
+/// rank-select must reproduce rank by rank.
+fn scan_committed(dfs: &TieredDfs) -> Vec<FileId> {
+    dfs.iter_files()
+        .filter(|m| m.state == FileState::Complete)
+        .map(|m| m.id)
+        .collect()
+}
+
+/// From-scratch degraded map: every live file (any state) with at least
+/// one block whose live replicas fall below the replication target, with
+/// its deficient-block count.
+fn scan_degraded(dfs: &TieredDfs) -> BTreeMap<FileId, u32> {
+    let target = dfs.config().replication as usize;
+    let mut out = BTreeMap::new();
+    for meta in dfs.iter_files() {
+        let deficient = meta
+            .blocks
+            .iter()
+            .filter(|b| dfs.block_info(**b).live_replicas() < target)
+            .count() as u32;
+        if deficient > 0 {
+            out.insert(meta.id, deficient);
+        }
+    }
+    out
+}
+
+/// From-scratch lost files: live files with a block that has no replica
+/// left at all.
+fn scan_lost(dfs: &TieredDfs) -> Vec<FileId> {
+    dfs.iter_files()
+        .filter(|m| {
+            m.blocks
+                .iter()
+                .any(|b| dfs.block_info(*b).replicas().is_empty())
+        })
+        .map(|m| m.id)
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
     #[test]
     fn incremental_state_matches_scan_oracles(
-        ops in proptest::collection::vec((0u8..10, 0u64..1_000_000, 0u64..3), 1..160)
+        ops in proptest::collection::vec((0u8..13, 0u64..1_000_000, 0u64..3), 1..160)
     ) {
         let mut dfs = small_dfs();
+        let workers = dfs.config().workers as usize;
+        let mut alive = vec![true; workers];
         let mut live: Vec<FileId> = Vec::new();
         let mut flights: Vec<TransferId> = Vec::new();
         let mut created = 0u64;
@@ -171,12 +221,40 @@ proptest! {
                     }
                 }
                 // Delete (fails while a transfer is in flight — a no-op).
-                _ => {
+                9 => {
                     if !live.is_empty() {
                         let i = a as usize % live.len();
                         if dfs.delete_file(live[i]).is_ok() {
                             live.swap_remove(i);
                         }
+                    }
+                }
+                // Crash a node: its in-flight transfers cancel, its memory
+                // replicas are destroyed, its disk replicas go dead.
+                10 => {
+                    let n = a as usize % workers;
+                    if alive[n] {
+                        let failure = dfs.fail_node(NodeId(n as u32)).expect("node was up");
+                        flights.retain(|id| !failure.cancelled_transfers.contains(id));
+                        alive[n] = false;
+                    }
+                }
+                // Recover a crashed node: dead disk replicas come back.
+                11 => {
+                    let n = a as usize % workers;
+                    if !alive[n] {
+                        dfs.recover_node(NodeId(n as u32)).expect("node was down");
+                        alive[n] = true;
+                    }
+                }
+                // Lose one device of an up node for good.
+                _ => {
+                    let n = a as usize % workers;
+                    if alive[n] {
+                        let failure = dfs
+                            .lose_device(NodeId(n as u32), tier)
+                            .expect("device exists");
+                        flights.retain(|id| !failure.cancelled_transfers.contains(id));
                     }
                 }
             }
@@ -203,5 +281,78 @@ proptest! {
         }
         let got_mru: Vec<(SimTime, FileId)> = dfs.mru_recency_iter().collect();
         prop_assert_eq!(got_mru, scan_global_mru(&dfs), "global MRU index diverged");
+
+        // The merged per-shard slices equal the global scans, and every
+        // per-file entry sits in exactly the shard `shard_of` assigns.
+        let blocks = dfs.blocks();
+        for tier in TIERS {
+            let mut merged: Vec<FileId> = Vec::new();
+            for shard in 0..blocks.shard_count() {
+                let slice: Vec<FileId> = blocks.shard_files_on_tier(shard, tier).collect();
+                prop_assert!(
+                    slice.iter().all(|f| shard_of(*f) == shard),
+                    "file in the wrong files_on_tier shard"
+                );
+                prop_assert!(
+                    slice.windows(2).all(|w| w[0] < w[1]),
+                    "shard slice out of order"
+                );
+                merged.extend(slice);
+            }
+            merged.sort();
+            let global: Vec<FileId> = dfs.files_on_tier(tier).collect();
+            prop_assert_eq!(merged, global, "sharded files_on_tier({}) diverged", tier);
+
+            for shard in 0..dfs.recency().shard_count() {
+                let slice: Vec<(SimTime, FileId)> =
+                    dfs.recency().shard_tier_iter(shard, tier).collect();
+                prop_assert!(
+                    slice.iter().all(|(_, f)| shard_of(*f) == shard),
+                    "file in the wrong recency shard"
+                );
+                let want: Vec<(SimTime, FileId)> = scan_tier_lru(&dfs, tier)
+                    .into_iter()
+                    .filter(|(_, f)| shard_of(*f) == shard)
+                    .collect();
+                prop_assert_eq!(slice, want, "recency shard slice diverged");
+            }
+        }
+
+        // Per-shard under-replication bookkeeping equals a from-scratch
+        // walk, and the O(1) aggregates agree with it.
+        let want_degraded = scan_degraded(&dfs);
+        let mut got_degraded: BTreeMap<FileId, u32> = BTreeMap::new();
+        for shard in 0..blocks.shard_count() {
+            for (f, n) in blocks.shard_degraded_files(shard) {
+                prop_assert_eq!(shard_of(f), shard, "file in the wrong degraded shard");
+                prop_assert!(got_degraded.insert(f, n).is_none(), "degraded entry duplicated");
+            }
+        }
+        prop_assert_eq!(&got_degraded, &want_degraded, "degraded maps diverged");
+        prop_assert_eq!(
+            blocks.degraded_file_count(),
+            want_degraded.len(),
+            "degraded aggregate count diverged"
+        );
+        prop_assert_eq!(blocks.fully_replicated(), want_degraded.is_empty());
+        let got_lost: Vec<FileId> = dfs.lost_files().collect();
+        prop_assert_eq!(got_lost, scan_lost(&dfs), "lost-file walk diverged");
+
+        // The committed-file rank index selects, rank by rank, exactly the
+        // file an ascending scan of committed files yields.
+        let committed = scan_committed(&dfs);
+        prop_assert_eq!(
+            dfs.committed_file_count(),
+            committed.len(),
+            "committed count diverged"
+        );
+        for (rank, want) in committed.iter().enumerate() {
+            prop_assert_eq!(
+                dfs.nth_committed_file(rank),
+                Some(*want),
+                "rank-select diverged at rank {}", rank
+            );
+        }
+        prop_assert_eq!(dfs.nth_committed_file(committed.len()), None);
     }
 }

@@ -15,6 +15,10 @@
 //!   (generated or trace-driven)} × {fault schedules} fanned out across
 //!   worker threads, aggregated into one JSON artifact and a markdown
 //!   comparison table with byte-identical output at any thread count.
+//! * [`scale`] — the million-file commit/access/epoch harness behind the
+//!   `scale_epoch` bench (`BENCH_scale.json`), exercising the sharded DFS
+//!   tables and the committed-file rank index at namespace sizes the
+//!   paper-scale experiments never reach.
 //!
 //! The `bench` crate's cargo-bench targets call these and print
 //! paper-style rows; integration tests call them in `quick` mode to keep
@@ -25,8 +29,10 @@ pub mod endtoend;
 pub mod matrix;
 pub mod model_eval;
 pub mod scalability;
+pub mod scale;
 pub mod settings;
 pub mod workload_stats;
 
 pub use matrix::{run_matrix, FaultPlan, MatrixCell, MatrixReport, MatrixSpec, MatrixWorkload};
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use settings::{ExpSettings, Mode};

@@ -4,98 +4,17 @@
 //! any change in victim selection order, transfer scheduling, or tier
 //! accounting shifts job timings and movement bytes, and therefore the
 //! digest. The golden value was captured from the original full-scan
-//! policy implementation; the incremental-index refactor must reproduce it
-//! bit-for-bit.
+//! policy implementation; the incremental-index refactor and the sharded
+//! table refactor must both reproduce it bit-for-bit. (The same digests,
+//! plus the XGB pair, also live in `tests/fixtures/golden_digests.json`,
+//! checked by `golden_fixtures.rs`.)
 
-use octo_cluster::{run_trace, FaultSummary, RunReport, Scenario};
+mod common;
+
+use common::report_digest;
+use octo_cluster::{run_trace, Scenario};
 use octo_experiments::ExpSettings;
 use octo_workload::{FaultConfig, FaultSchedule, TraceKind};
-use std::fmt::Write as _;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// A canonical integer-only transcript of a run: per-job timings and sizes,
-/// per-task read tiers, movement statistics. No floats, so the digest is
-/// stable across formatting and arithmetic-reassociation changes.
-fn canonical_transcript(report: &RunReport) -> String {
-    let mut s = String::new();
-    writeln!(s, "scenario={} jobs={}", report.scenario, report.jobs.len()).unwrap();
-    for j in &report.jobs {
-        write!(
-            s,
-            "job bin={:?} submit={} finish={} in={} out={} tiers=",
-            j.bin,
-            j.submit.as_millis(),
-            j.finish.as_millis(),
-            j.input_bytes.as_bytes(),
-            j.output_bytes.as_bytes()
-        )
-        .unwrap();
-        for t in &j.tasks {
-            write!(s, "{}{}", t.read_tier.label(), u8::from(t.remote)).unwrap();
-        }
-        if j.failed {
-            // Only possible under fault injection; the no-fault transcript
-            // (and its pinned digest) is unchanged.
-            write!(s, " failed").unwrap();
-        }
-        writeln!(s).unwrap();
-    }
-    let m = &report.movement;
-    for (tier, v) in m.upgraded_to.iter() {
-        writeln!(s, "up {tier}={}", v.as_bytes()).unwrap();
-    }
-    for (tier, v) in m.downgraded_to.iter() {
-        writeln!(s, "down {tier}={}", v.as_bytes()).unwrap();
-    }
-    for (tier, v) in m.dropped_from.iter() {
-        writeln!(s, "drop {tier}={}", v.as_bytes()).unwrap();
-    }
-    writeln!(
-        s,
-        "xfers done={} cancelled={} end={}",
-        m.transfers_completed,
-        m.transfers_cancelled,
-        report.sim_end.as_millis()
-    )
-    .unwrap();
-    for (i, b) in report.bytes_read_by_tier.iter().enumerate() {
-        writeln!(s, "read[{i}]={}", b.as_bytes()).unwrap();
-    }
-    if report.faults != FaultSummary::default() {
-        // Fault section only when faults happened, so the no-fault digest
-        // above is bit-identical to the pre-fault-injection baseline.
-        let f = &report.faults;
-        writeln!(
-            s,
-            "faults crash={} recover={} diskloss={} failed_reads={} rerun={} \
-             failed_jobs={} lost={} repaired={} repairs={} last_fault={:?} healed={:?}",
-            f.crashes,
-            f.recoveries,
-            f.disk_losses,
-            f.failed_reads,
-            f.tasks_rerun,
-            f.failed_jobs,
-            f.lost_files,
-            f.bytes_re_replicated.as_bytes(),
-            f.repairs_completed,
-            f.last_fault_at.map(|t| t.as_millis()),
-            f.full_replication_at.map(|t| t.as_millis()),
-        )
-        .unwrap();
-        for (tier, v) in report.movement.repaired_to.iter() {
-            writeln!(s, "repair {tier}={}", v.as_bytes()).unwrap();
-        }
-    }
-    s
-}
 
 /// The same LRU-OSA quick run under a fixed generated fault schedule:
 /// crash/recovery handling, read failover, task re-runs, and repair
@@ -110,8 +29,7 @@ fn lru_osa_fault_run_is_bit_identical_on_pinned_seed() {
     assert!(!cfg.faults.is_empty(), "the schedule must inject something");
     let report = run_trace(cfg, &trace);
     assert!(report.faults.crashes > 0);
-    let transcript = canonical_transcript(&report);
-    let digest = fnv1a(transcript.as_bytes());
+    let digest = report_digest(&report);
     assert_eq!(
         digest,
         683_779_097_069_421_001,
@@ -129,8 +47,7 @@ fn lru_osa_quick_run_is_bit_identical_on_pinned_seed() {
     let settings = ExpSettings::quick(3);
     let trace = settings.trace(TraceKind::Facebook);
     let report = run_trace(settings.sim(Scenario::policy_pair("lru", "osa")), &trace);
-    let transcript = canonical_transcript(&report);
-    let digest = fnv1a(transcript.as_bytes());
+    let digest = report_digest(&report);
     assert_eq!(
         digest,
         914_052_170_381_156_786,

@@ -1,0 +1,74 @@
+//! Golden end-to-end digests, stored as a fixture file.
+//!
+//! `tests/fixtures/golden_digests.json` holds the canonical-transcript
+//! digests of the pinned quick runs, captured *before* the sharded-table
+//! refactor of the DFS core. The runs replay the whole stack — workload
+//! generation, ingestion, policy decisions (including the XGB predictors
+//! trained from sampled ticks), transfer scheduling, and fault repair — so
+//! a refactor that changes any ordering or accounting moves at least one
+//! of these numbers. Keeping them in a fixture (rather than inline
+//! constants) makes the baseline explicit and diffable.
+
+mod common;
+
+use common::report_digest;
+use octo_cluster::{run_trace, Scenario};
+use octo_experiments::ExpSettings;
+use octo_workload::{FaultConfig, FaultSchedule, TraceKind};
+use std::collections::BTreeMap;
+
+/// Parses the flat `{"name": digest, ...}` fixture. Hand-rolled: the
+/// workspace's offline `serde_json` shim models maps as pair sequences, so
+/// a JSON object cannot deserialize into a `BTreeMap` through it.
+fn fixture() -> BTreeMap<String, u64> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_digests.json"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture file exists");
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let (name, value) = line.split_once(':')?;
+            let digest: u64 = value.trim().parse().ok()?;
+            Some((name.trim().trim_matches('"').to_string(), digest))
+        })
+        .collect()
+}
+
+fn check(name: &str, digest: u64) {
+    let golden = fixture();
+    let want = *golden
+        .get(name)
+        .unwrap_or_else(|| panic!("fixture {name:?} missing from golden_digests.json"));
+    assert_eq!(
+        digest, want,
+        "{name}: run transcript diverged from the pre-refactor golden digest"
+    );
+}
+
+#[test]
+fn lru_osa_quick_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(settings.sim(Scenario::policy_pair("lru", "osa")), &trace);
+    check("lru_osa_quick", report_digest(&report));
+}
+
+#[test]
+fn lru_osa_fault_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let mut cfg = settings.sim(Scenario::policy_pair("lru", "osa"));
+    cfg.faults = FaultSchedule::generate(&FaultConfig::default(), cfg.dfs.workers, 3);
+    let report = run_trace(cfg, &trace);
+    check("lru_osa_fault", report_digest(&report));
+}
+
+#[test]
+fn xgb_xgb_quick_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(settings.sim(Scenario::policy_pair("xgb", "xgb")), &trace);
+    check("xgb_xgb_quick", report_digest(&report));
+}

@@ -16,8 +16,7 @@
 
 use crate::classic::last_used;
 use crate::framework::{
-    effective_utilization, lru_candidates, DowngradePolicy, TieringConfig, UpgradeChoice,
-    UpgradePolicy,
+    effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice, UpgradePolicy,
 };
 use octo_access::{AccessPredictor, LearnerConfig};
 use octo_common::{ByteSize, DetRng, FileId, SimDuration, SimTime, StorageTier};
@@ -31,6 +30,14 @@ pub const UPGRADE_WINDOW: SimDuration = SimDuration::from_mins(30);
 
 /// Samples up to `n` committed files deterministically and feeds them to the
 /// predictor as (mostly negative) training points.
+///
+/// Index sampling, not a scan: each draw picks a uniform rank over the
+/// committed files and resolves it through the file table's O(log n)
+/// rank-select ([`TieredDfs::nth_committed_file`]). The rank→file mapping
+/// is identical to indexing the `Vec` of all committed files (ascending by
+/// id) the old implementation materialized per tick, and the RNG consumes
+/// the same draws — so victim sequences and model state are bit-identical
+/// while a tick costs O(n·log files) instead of O(files).
 fn sample_files(
     predictor: &mut AccessPredictor,
     dfs: &TieredDfs,
@@ -38,16 +45,14 @@ fn sample_files(
     n: usize,
     rng: &mut DetRng,
 ) {
-    let files: Vec<FileId> = dfs
-        .iter_files()
-        .filter(|m| m.state == octo_dfs::FileState::Complete)
-        .map(|m| m.id)
-        .collect();
-    if files.is_empty() {
+    let committed = dfs.committed_file_count();
+    if committed == 0 {
         return;
     }
-    for _ in 0..n.min(files.len()) {
-        let f = files[rng.index(files.len())];
+    for _ in 0..n.min(committed) {
+        let f = dfs
+            .nth_committed_file(rng.index(committed))
+            .expect("rank drawn below the committed count");
         if let Some(stats) = dfs.file_stats(f) {
             predictor.observe_file(stats, now);
         }
@@ -59,6 +64,16 @@ pub struct XgbDowngrade {
     cfg: TieringConfig,
     predictor: AccessPredictor,
     rng: DetRng,
+    /// Epoch cursor over the per-tier LRU walk. Within one Algorithm 1
+    /// run, entries rejected because they are in `skip` or immovable stay
+    /// ineligible (victims become immovable when planned, failed picks
+    /// land in `skip`, no transfer completes mid-run), so the walk may
+    /// permanently hop the leading run of ineligible entries instead of
+    /// re-skipping it on every selection. Entries that were eligible but
+    /// simply not chosen stay *before* the cursor's first-eligible bound
+    /// and are re-scored — the candidate windows, and therefore the
+    /// victim sequence, are bit-identical to a full re-walk.
+    cursor: Option<(SimTime, FileId)>,
 }
 
 impl XgbDowngrade {
@@ -68,6 +83,7 @@ impl XgbDowngrade {
             cfg,
             predictor: AccessPredictor::new(DOWNGRADE_WINDOW, learner),
             rng: DetRng::seed_from_u64(seed),
+            cursor: None,
         }
     }
 
@@ -99,10 +115,28 @@ impl DowngradePolicy for XgbDowngrade {
         skip: &BTreeSet<FileId>,
     ) -> Option<FileId> {
         // The per-tier recency index already yields LRU order: the first k
-        // movable entries of the range walk, no collect-and-sort.
-        let candidates: Vec<FileId> = lru_candidates(dfs, tier, skip)
-            .take(self.cfg.xgb_candidates)
-            .collect();
+        // movable entries of the range walk, no collect-and-sort. An empty
+        // `skip` marks a fresh Algorithm 1 run and resets the cursor.
+        if skip.is_empty() {
+            self.cursor = None;
+        }
+        let mut candidates: Vec<FileId> = Vec::new();
+        let mut saw_eligible = false;
+        for (t, f) in dfs.tier_recency_iter_after(tier, self.cursor) {
+            if skip.contains(&f) || !dfs.is_movable(f) {
+                if !saw_eligible {
+                    // Ineligible for the rest of this run with nothing
+                    // eligible before it: future walks hop it.
+                    self.cursor = Some((t, f));
+                }
+                continue;
+            }
+            saw_eligible = true;
+            candidates.push(f);
+            if candidates.len() == self.cfg.xgb_candidates {
+                break;
+            }
+        }
         if candidates.is_empty() {
             return None;
         }

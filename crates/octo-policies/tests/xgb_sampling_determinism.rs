@@ -1,0 +1,158 @@
+//! Pinned digest over the XGB training-sample stream and the victims it
+//! produces.
+//!
+//! `sample_files` feeds the periodic tick's (mostly negative) training
+//! points to the predictor by drawing uniform ranks over the committed
+//! files in ascending-id order. The digest below covers both the model
+//! state that sampling produced (raw prediction bits per file) and the
+//! victim sequence a downgrade invocation selects with that model — so any
+//! change to *which* files the tick samples, or to the rank→file mapping
+//! (the namespace deliberately contains deleted-file holes), moves this
+//! number. Captured from the pre-shard full-scan `sample_files`
+//! implementation; the index-sampling rewrite must reproduce it
+//! bit-for-bit.
+
+use octo_access::LearnerConfig;
+use octo_common::{ByteSize, FileId, PerTier, SimTime, StorageTier};
+use octo_dfs::{DfsConfig, DowngradeTarget, TieredDfs};
+use octo_gbt::GbtParams;
+use octo_policies::{DowngradePolicy, TieringConfig, XgbDowngrade};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const MEM: StorageTier = StorageTier::Memory;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn small_dfs() -> TieredDfs {
+    TieredDfs::new(DfsConfig {
+        workers: 3,
+        replication: 1,
+        tier_capacity: PerTier::from_fn(|t| match t {
+            StorageTier::Memory => ByteSize::gb(1),
+            StorageTier::Ssd => ByteSize::gb(16),
+            StorageTier::Hdd => ByteSize::gb(100),
+        }),
+        ..DfsConfig::default()
+    })
+    .expect("valid config")
+}
+
+/// A learner light enough to activate from a few ticks of samples.
+fn quick_learner() -> LearnerConfig {
+    LearnerConfig {
+        min_points: 30,
+        buffer_max: 500,
+        gbt: GbtParams {
+            rounds: 5,
+            max_depth: 4,
+            ..GbtParams::default()
+        },
+        ..LearnerConfig::default()
+    }
+}
+
+#[test]
+fn xgb_tick_sampling_and_victims_are_pinned() {
+    let mut dfs = small_dfs();
+    let cfg = TieringConfig {
+        start_threshold: 0.50,
+        stop_threshold: 0.20,
+        ..TieringConfig::default()
+    };
+    let mut policy = XgbDowngrade::new(cfg, quick_learner(), 7);
+
+    // 36 files, then delete every fifth-ish one so the committed-file set
+    // has holes: rank-to-file selection over a dense id space and over a
+    // holey one must agree for the digest to hold.
+    let mut files = Vec::new();
+    for i in 0..36u64 {
+        let now = SimTime::from_secs(i);
+        let plan = dfs
+            .create_file(&format!("/t/f{i}"), ByteSize::mb(90), now)
+            .unwrap();
+        dfs.commit_file(plan.file, now).unwrap();
+        files.push(plan.file);
+    }
+    let mut deleted = BTreeSet::new();
+    for i in [4u64, 9, 14, 19, 24, 29] {
+        dfs.delete_file(FileId(i)).unwrap();
+        deleted.insert(FileId(i));
+    }
+
+    // A scrambled-but-deterministic cold history, plus a handful of files
+    // re-touched late so the tick windows see both labels.
+    for (i, &f) in files.iter().enumerate() {
+        if deleted.contains(&f) {
+            continue;
+        }
+        for r in 0..(i * 7) % 3 + 1 {
+            let t = SimTime::from_secs(1_000 + ((i * 37 + r * 211) % 500) as u64);
+            dfs.record_access(f, t).unwrap();
+            policy.on_file_accessed(&dfs, f, t);
+        }
+    }
+    for (i, &f) in files.iter().enumerate() {
+        if i % 5 == 0 && !deleted.contains(&f) {
+            let t = SimTime::from_secs(23_400);
+            dfs.record_access(f, t).unwrap();
+            policy.on_file_accessed(&dfs, f, t);
+        }
+    }
+
+    // Three monitor ticks: each draws `sample_files_per_tick` ranks from
+    // the committed set and trains on the outcome.
+    for t in [22_000u64, 23_000, 24_000] {
+        policy.on_tick(&dfs, SimTime::from_secs(t));
+    }
+    // Open the activation gate (the warm-up protocol needs a longer run):
+    // what matters here is that victim selection consults the model the
+    // sampled points trained.
+    policy.predictor_mut().learner_mut().force_activate();
+    assert!(
+        policy.predictor().learner().is_active(),
+        "the sampled ticks must have trained a model"
+    );
+
+    // One Algorithm-1 downgrade invocation with the trained model.
+    let now = SimTime::from_secs(24_500);
+    let mut skip = BTreeSet::new();
+    let mut victims: Vec<u64> = Vec::new();
+    assert!(policy.start_downgrade(&dfs, MEM, now));
+    while let Some(f) = policy.select_file(&dfs, MEM, now, &skip) {
+        skip.insert(f);
+        if dfs.plan_downgrade(f, MEM, DowngradeTarget::Auto).is_ok() {
+            victims.push(f.raw());
+        }
+        if policy.stop_downgrade(&dfs, MEM, now) {
+            break;
+        }
+    }
+    assert!(!victims.is_empty(), "the overfull tier must schedule moves");
+
+    let mut transcript = String::new();
+    writeln!(transcript, "victims={victims:?}").unwrap();
+    for &f in &files {
+        if deleted.contains(&f) {
+            continue;
+        }
+        let p = dfs
+            .file_stats(f)
+            .and_then(|s| policy.predictor().predict_raw(s, now))
+            .expect("live committed files predict");
+        writeln!(transcript, "f{}={:016x}", f.raw(), p.to_bits()).unwrap();
+    }
+    let digest = fnv1a(transcript.as_bytes());
+    assert_eq!(
+        digest, 13_400_109_349_010_546_678,
+        "XGB sampling/victim transcript diverged from the pinned \
+         full-scan baseline (victims={victims:?})",
+    );
+}
