@@ -41,7 +41,7 @@ use crate::runstats::{FaultSummary, JobResult, RunReport, TaskStat};
 use crate::scenario::Scenario;
 use octo_access::LearnerConfig;
 use octo_common::{ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, RepairPlanner, TieredDfs, TransferId};
+use octo_dfs::{DfsConfig, EpochPool, RepairPlanner, TieredDfs, TransferId};
 use octo_policies::{TieringConfig, TieringEngine};
 use octo_simkit::{EventQueue, FlowModel};
 use octo_workload::{CompileConfig, EventTrace, FaultKind, FaultSchedule, Trace, TraceError};
@@ -75,6 +75,11 @@ pub struct SimConfig {
     pub faults: FaultSchedule,
     /// Byte budget per monitor epoch for repair re-replication.
     pub repair_bandwidth: ByteSize,
+    /// Worker threads for the per-shard epoch fan-out (policy candidate
+    /// scans and repair-candidate collection). 1 = the serial code path;
+    /// any value produces byte-identical simulations — the parallel engine
+    /// merges per-shard results in shard order.
+    pub epoch_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -92,6 +97,7 @@ impl Default for SimConfig {
             seed: 42,
             faults: FaultSchedule::none(),
             repair_bandwidth: ByteSize::gb(2),
+            epoch_threads: 1,
         }
     }
 }
@@ -204,6 +210,8 @@ pub struct ClusterSim<'t> {
     scheduled_flow_version: Option<u64>,
     repair: RepairPlanner,
     fstats: FaultSummary,
+    /// Worker pool for the per-shard epoch fan-out ([`SimConfig::epoch_threads`]).
+    pool: EpochPool,
 }
 
 impl<'t> ClusterSim<'t> {
@@ -250,6 +258,7 @@ impl<'t> ClusterSim<'t> {
             scheduled_flow_version: None,
             repair: RepairPlanner::new(cfg.repair_bandwidth),
             fstats: FaultSummary::default(),
+            pool: EpochPool::new(cfg.epoch_threads),
             cfg,
             trace,
             dfs,
@@ -685,7 +694,7 @@ impl<'t> ClusterSim<'t> {
         if !self.cfg.faults.is_empty() {
             // The Replication Monitor's repair epoch: re-replicate
             // under-replicated files within the per-epoch byte budget.
-            let planned = self.repair.plan_epoch(&mut self.dfs);
+            let planned = self.repair.plan_epoch_pooled(&mut self.dfs, &self.pool);
             self.execute_transfers(planned, now);
             self.unpark_ready_tasks(now);
             // A permanently dead cluster (every worker down, nobody coming
@@ -961,7 +970,9 @@ impl<'t> ClusterSim<'t> {
 
     fn check_downgrades(&mut self, now: SimTime) {
         for tier in [StorageTier::Memory, StorageTier::Ssd] {
-            let planned = self.engine.run_downgrade(&mut self.dfs, tier, now);
+            let planned = self
+                .engine
+                .run_downgrade_pooled(&mut self.dfs, tier, now, &self.pool);
             self.execute_transfers(planned, now);
         }
     }

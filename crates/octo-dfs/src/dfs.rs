@@ -908,6 +908,72 @@ impl TieredDfs {
         &self.recency
     }
 
+    // ------------------------------------------------------------------
+    // Shard-scoped views (parallel epoch engine)
+    //
+    // Each iterator below is one shard's leg of the corresponding global
+    // merged iterator: merging all legs in shard order with the
+    // order-preserving k-way merges reproduces the global order exactly,
+    // which is what lets an epoch scan the shards concurrently and commit
+    // serially with byte-identical results (see [`crate::epoch`]).
+    // ------------------------------------------------------------------
+
+    /// The number of shards the per-file bookkeeping is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.blocks.shard_count()
+    }
+
+    /// One shard's slice of the per-tier LRU ordering, `(last_used, file)`
+    /// ascending — the shard leg of [`TieredDfs::tier_recency_iter`].
+    pub fn shard_tier_recency_iter(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.recency.shard_tier_iter(shard, tier)
+    }
+
+    /// Like [`TieredDfs::shard_tier_recency_iter`], resuming strictly
+    /// after `after` — the shard leg of
+    /// [`TieredDfs::tier_recency_iter_after`].
+    pub fn shard_tier_recency_iter_after(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+        after: Option<(SimTime, FileId)>,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        self.recency.shard_tier_iter_after(shard, tier, after)
+    }
+
+    /// One shard's files with a replica on `tier`, ascending by id — the
+    /// shard leg of [`TieredDfs::files_on_tier`].
+    pub fn shard_files_on_tier(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+    ) -> impl Iterator<Item = FileId> + '_ {
+        self.blocks.shard_files_on_tier(shard, tier)
+    }
+
+    /// One shard's slice of the degraded map as `(file, deficient
+    /// blocks)`, ascending by id.
+    pub fn shard_degraded_files(&self, shard: usize) -> impl Iterator<Item = (FileId, u32)> + '_ {
+        self.blocks.shard_degraded_files(shard)
+    }
+
+    /// One shard's committed under-replicated files, ascending by id — the
+    /// shard leg of the candidate list
+    /// [`TieredDfs::under_replicated_files`] yields, with the same
+    /// committed-state filter applied.
+    pub fn shard_under_replicated_files(&self, shard: usize) -> impl Iterator<Item = FileId> + '_ {
+        self.blocks
+            .shard_degraded_files(shard)
+            .filter_map(|(f, _)| {
+                let meta = self.files.get(f)?;
+                (meta.state == FileState::Complete).then_some(f)
+            })
+    }
+
     /// Bytes currently scheduled to move off or be dropped from `tier`.
     /// Maintained incrementally at transfer plan/complete/cancel time: O(1).
     pub fn pending_outgoing(&self, tier: StorageTier) -> ByteSize {

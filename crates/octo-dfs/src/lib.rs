@@ -22,6 +22,10 @@
 //!   bookkeeping is distributed over, keeping each ordered index small at
 //!   million-file scale while reproducing the global iteration orders bit
 //!   for bit.
+//! * [`epoch`] — the parallel epoch fan-out built on that partitioning: a
+//!   fixed-size worker pool ([`epoch::EpochPool`]) scans shard-local read
+//!   views concurrently and returns per-shard results in shard order, so
+//!   merge-and-commit callers stay byte-identical at any thread count.
 //! * [`placement::PlacementPolicy`] — the multi-objective placement of
 //!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
 //! * [`replication`] — transfer plans, movement statistics, and the
@@ -36,6 +40,7 @@
 pub mod block;
 pub mod config;
 pub mod dfs;
+pub mod epoch;
 pub mod files;
 pub mod namespace;
 pub mod node;
@@ -48,6 +53,7 @@ pub mod stats;
 pub use block::{BlockInfo, BlockManager, Replica};
 pub use config::DfsConfig;
 pub use dfs::{BlockWrite, DowngradeTarget, NodeFailure, TieredDfs, WritePlan};
+pub use epoch::{EpochPool, ShardEpochPlan, ShardView};
 pub use files::{FileMeta, FileState, FileTable};
 pub use namespace::{Entry, Namespace};
 pub use node::{Device, NodeManager};

@@ -199,6 +199,29 @@ impl RecencyIndex {
         self.shards[shard].per_tier.get(tier).iter().copied()
     }
 
+    /// Like [`RecencyIndex::shard_tier_iter`], resuming strictly after a
+    /// previously-returned entry — the per-shard half of
+    /// [`RecencyIndex::tier_iter_after`], used by the parallel epoch
+    /// engine's budget-limited shard scans to refill a drained candidate
+    /// slice without re-walking its consumed prefix.
+    pub fn shard_tier_iter_after(
+        &self,
+        shard: usize,
+        tier: StorageTier,
+        after: Option<(SimTime, FileId)>,
+    ) -> impl Iterator<Item = (SimTime, FileId)> + '_ {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(entry) => Bound::Excluded(entry),
+            None => Bound::Unbounded,
+        };
+        self.shards[shard]
+            .per_tier
+            .get(tier)
+            .range((lower, Bound::Unbounded))
+            .copied()
+    }
+
     /// The number of shards the orderings are partitioned into.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

@@ -5,9 +5,10 @@
 //! *indexes* (tier residency, recency orderings, under-replication) in a
 //! fixed number of shards chosen deterministically from the id. Sharding
 //! bounds the size of each ordered index — a million-file namespace walks
-//! sixteen ~64k-entry trees instead of one million-entry tree — and gives
-//! every future scaling PR (parallel epoch application, per-shard locks)
-//! a partition boundary that already preserves the global orderings.
+//! sixteen ~64k-entry trees instead of one million-entry tree — and the
+//! shard boundary is the unit of parallelism: the [`crate::epoch`] module
+//! fans per-shard scans over a worker pool and the merges below stitch
+//! the results back into the exact global orderings.
 //!
 //! Invariants every sharded index upholds:
 //!

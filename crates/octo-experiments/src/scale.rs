@@ -17,7 +17,7 @@
 //! Everything is deterministic for a fixed config.
 
 use octo_common::{ByteSize, DetRng, PerTier, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, TieredDfs};
+use octo_dfs::{DfsConfig, EpochPool, TieredDfs};
 use octo_policies::{downgrade_policy, TieringConfig, TieringEngine};
 use std::time::Instant;
 
@@ -35,6 +35,9 @@ pub struct ScaleConfig {
     pub upgrades_per_epoch: u64,
     /// Seed for the access stream and the policy's sampling RNG.
     pub seed: u64,
+    /// Worker threads for the per-shard epoch fan-out; 1 = the serial
+    /// path. The [`ScaleReport::digest`] is identical at every value.
+    pub threads: usize,
 }
 
 impl ScaleConfig {
@@ -46,18 +49,26 @@ impl ScaleConfig {
             accesses_per_epoch: 10_000,
             upgrades_per_epoch: 4_000,
             seed: 42,
+            threads: 1,
         }
     }
 
-    /// The full configuration: two million files, 100 epochs.
+    /// The full configuration: ten million files, 100 epochs.
     pub fn full() -> Self {
         ScaleConfig {
-            files: 2_000_000,
+            files: 10_000_000,
             epochs: 100,
             accesses_per_epoch: 20_000,
             upgrades_per_epoch: 8_000,
             seed: 42,
+            threads: 1,
         }
+    }
+
+    /// The same run at a different epoch fan-out width.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -85,6 +96,13 @@ pub struct ScaleReport {
     pub peak_rss_kb: u64,
     /// The DFS's own estimate of per-file statistics bookkeeping bytes.
     pub stats_memory_bytes: usize,
+    /// Epoch fan-out width the run used.
+    pub threads: usize,
+    /// FNV-1a digest over every downgrade decision of the run: per epoch,
+    /// the epoch index, the number of planned transfers, and each victim's
+    /// file id in planned order. Runs differing only in `threads` must
+    /// produce the same digest — the bench sweep asserts it.
+    pub digest: u64,
 }
 
 impl ScaleReport {
@@ -97,6 +115,15 @@ impl ScaleReport {
     pub fn max_epoch_ms(&self) -> f64 {
         self.epoch_ms.iter().copied().fold(0.0, f64::max)
     }
+}
+
+/// One FNV-1a step folding a `u64` into the digest byte by byte.
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Peak resident set size in kB (`VmHWM`), or 0 when the platform has no
@@ -148,6 +175,8 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
         None,
     );
     let mut rng = DetRng::seed_from_u64(cfg.seed);
+    let pool = EpochPool::new(cfg.threads);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
 
     // ------------------------------------------------------------ ingest
     let t0 = Instant::now();
@@ -207,10 +236,13 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
         }
 
         // 4. One Algorithm-1 downgrade epoch, transfers applied inline.
-        let planned = engine.run_downgrade(&mut dfs, StorageTier::Memory, now);
+        let planned = engine.run_downgrade_pooled(&mut dfs, StorageTier::Memory, now, &pool);
         moves += planned.len() as u64;
+        digest = fnv1a_u64(digest, u64::from(epoch));
+        digest = fnv1a_u64(digest, planned.len() as u64);
         for id in planned {
-            dfs.complete_transfer(id).expect("planned downgrade");
+            let t = dfs.complete_transfer(id).expect("planned downgrade");
+            digest = fnv1a_u64(digest, t.file.raw());
         }
         epoch_ms.push(te.elapsed().as_secs_f64() * 1e3);
     }
@@ -226,6 +258,8 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
         moves,
         peak_rss_kb: peak_rss_kb(),
         stats_memory_bytes: dfs.stats_memory_bytes(),
+        threads: cfg.threads,
+        digest,
     }
 }
 
@@ -241,6 +275,7 @@ mod tests {
             accesses_per_epoch: 500,
             upgrades_per_epoch: 150,
             seed: 7,
+            threads: 1,
         });
         assert_eq!(report.files, 20_000);
         assert_eq!(report.epoch_ms.len(), 4);
@@ -248,5 +283,27 @@ mod tests {
         assert!(report.ingest_files_per_sec > 0.0);
         assert!(report.mean_epoch_ms() >= 0.0);
         assert!(report.stats_memory_bytes > 0);
+    }
+
+    #[test]
+    fn scale_digest_is_thread_count_invariant() {
+        let base = ScaleConfig {
+            files: 20_000,
+            epochs: 4,
+            accesses_per_epoch: 500,
+            upgrades_per_epoch: 150,
+            seed: 7,
+            threads: 1,
+        };
+        let serial = run_scale(&base);
+        assert_ne!(serial.digest, 0xcbf2_9ce4_8422_2325, "digest never mixed");
+        for threads in [4usize, 16] {
+            let pooled = run_scale(&base.clone().with_threads(threads));
+            assert_eq!(
+                pooled.digest, serial.digest,
+                "scale run digest diverged at {threads} threads"
+            );
+            assert_eq!(pooled.moves, serial.moves);
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Classic eviction policies: LRU and LFU (paper Table 1).
 
 use crate::framework::{effective_utilization, DowngradePolicy, TieringConfig};
+use crate::parallel::{shard_budget, victim_hint, Candidate, PhasePlan, ScanBatch};
 use octo_common::{FileId, SimTime, StorageTier};
-use octo_dfs::TieredDfs;
+use octo_dfs::{EpochPool, TieredDfs};
 use std::collections::BTreeSet;
 
 /// The time a file counts as "last used": its last access, or its creation
@@ -15,6 +16,42 @@ pub(crate) fn last_used(dfs: &TieredDfs, file: FileId) -> SimTime {
 
 pub(crate) fn access_count(dfs: &TieredDfs, file: FileId) -> u64 {
     dfs.file_stats(file).map_or(0, |s| s.total_accesses)
+}
+
+/// One shard's slice of the LRU candidate stream: the first `budget`
+/// movable entries of the shard's recency walk (resumed after `after`),
+/// keyed by the walk order itself. Leaves a resume cursor when the budget
+/// truncates the walk — the merge driver refills from it, so the budget
+/// affects batch boundaries, never the victim sequence.
+fn lru_scan_shard(
+    dfs: &TieredDfs,
+    shard: usize,
+    tier: StorageTier,
+    after: Option<(SimTime, FileId)>,
+    budget: usize,
+) -> ScanBatch {
+    let mut candidates = Vec::new();
+    for (t, f) in dfs.shard_tier_recency_iter_after(shard, tier, after) {
+        if !dfs.is_movable(f) {
+            continue;
+        }
+        let key = [t.as_millis(), f.raw(), 0];
+        candidates.push(Candidate {
+            order: key,
+            select: key,
+            file: f,
+        });
+        if candidates.len() == budget {
+            return ScanBatch {
+                candidates,
+                resume: Some((t, f)),
+            };
+        }
+    }
+    ScanBatch {
+        candidates,
+        resume: None,
+    }
 }
 
 /// Least Recently Used: downgrade the file used least recently.
@@ -72,6 +109,34 @@ impl DowngradePolicy for LruDowngrade {
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
     }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        _now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        // Victim order == walk order, so shards scan with a budget and the
+        // driver refills on demand (window 1: strict LRU priority).
+        let budget = shard_budget(victim_hint(dfs, tier, self.cfg.stop_threshold), 1);
+        let shards = pool.scan_shards(dfs, |v| {
+            lru_scan_shard(v.dfs(), v.shard(), tier, None, budget)
+        });
+        Some(vec![PhasePlan { window: 1, shards }])
+    }
+
+    fn rescan_shard(
+        &self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        _now: SimTime,
+        shard: usize,
+        resume: (SimTime, FileId),
+        budget: usize,
+    ) -> ScanBatch {
+        lru_scan_shard(dfs, shard, tier, Some(resume), budget)
+    }
 }
 
 /// Least Frequently Used: downgrade the file with the fewest accesses.
@@ -112,6 +177,35 @@ impl DowngradePolicy for LfuDowngrade {
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        _now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        // Frequency order needs a sort, so each shard scans its resident
+        // slice exhaustively; the ascending (count, last, id) merge is the
+        // serial victim sequence.
+        let shards = pool.scan_shards(dfs, |v| {
+            let dfs = v.dfs();
+            ScanBatch::sorted(
+                v.files_on_tier(tier)
+                    .filter(|f| dfs.is_movable(*f))
+                    .map(|f| {
+                        let key = [access_count(dfs, f), last_used(dfs, f).as_millis(), f.raw()];
+                        Candidate {
+                            order: key,
+                            select: key,
+                            file: f,
+                        }
+                    })
+                    .collect(),
+            )
+        });
+        Some(vec![PhasePlan { window: 1, shards }])
     }
 }
 

@@ -15,8 +15,9 @@
 //! runs Algorithm 1 and Algorithm 2 against a [`TieredDfs`], producing the
 //! [`TransferId`]s whose I/O the cluster layer then simulates.
 
+use crate::parallel::{PhasePlan, ScanBatch};
 use octo_common::{ByteSize, FileId, SimDuration, SimTime, StorageTier};
-use octo_dfs::{DowngradeTarget, TieredDfs, TransferId};
+use octo_dfs::{DowngradeTarget, EpochPool, TieredDfs, TransferId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -157,6 +158,42 @@ pub trait DowngradePolicy {
 
     /// Periodic housekeeping (model training data sampling etc.).
     fn on_tick(&mut self, _dfs: &TieredDfs, _now: SimTime) {}
+
+    /// The split form of one Algorithm 1 run: read-only per-shard
+    /// candidate scans fanned out over `pool`, to be consumed by the
+    /// engine's order-preserving merge/commit driver (see
+    /// [`crate::parallel`]). Called after [`DowngradePolicy::start_downgrade`]
+    /// returned `true` and before anything is planned, so scans observe
+    /// exactly the state the serial loop's first selection would.
+    ///
+    /// The default returns `None` — no split form — and the pooled engine
+    /// falls back to the serial select loop for this policy.
+    fn scan_phases(
+        &self,
+        _pool: &EpochPool,
+        _dfs: &TieredDfs,
+        _tier: StorageTier,
+        _now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        None
+    }
+
+    /// Extends a budget-truncated shard scan: resumes the shard's index
+    /// walk strictly after `resume` and returns up to `budget` more
+    /// candidates. Only called for shards whose previous
+    /// [`ScanBatch::resume`] was set, so exhaustive-scan policies never
+    /// need to implement it.
+    fn rescan_shard(
+        &self,
+        _dfs: &TieredDfs,
+        _tier: StorageTier,
+        _now: SimTime,
+        _shard: usize,
+        _resume: (SimTime, FileId),
+        _budget: usize,
+    ) -> ScanBatch {
+        unreachable!("policy set a resume cursor without implementing rescan_shard")
+    }
 }
 
 /// An upgrade request produced by Algorithm 2's inner loop.
@@ -269,6 +306,55 @@ impl TieringEngine {
             }
         }
         planned
+    }
+
+    /// Runs Algorithm 1 for `tier` with the candidate scan fanned out over
+    /// `pool`, returning the transfers planned.
+    ///
+    /// A one-thread pool takes the untouched serial path
+    /// ([`TieringEngine::run_downgrade`]); otherwise the policy's
+    /// [`DowngradePolicy::scan_phases`] split runs — parallel read-only
+    /// shard scans merged and committed serially in shard order — which is
+    /// byte-identical to the serial path at any thread count (the
+    /// determinism tests pin this against the golden digests). A policy
+    /// without a split form falls back to the serial select loop.
+    pub fn run_downgrade_pooled(
+        &mut self,
+        dfs: &mut TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        pool: &EpochPool,
+    ) -> Vec<TransferId> {
+        if pool.is_serial() {
+            return self.run_downgrade(dfs, tier, now);
+        }
+        let Some(policy) = self.downgrade.as_mut() else {
+            return Vec::new();
+        };
+        if !policy.start_downgrade(dfs, tier, now) {
+            return Vec::new();
+        }
+        match policy.scan_phases(pool, dfs, tier, now) {
+            Some(phases) => {
+                crate::parallel::run_merge_commit(&mut **policy, dfs, tier, now, phases)
+            }
+            None => {
+                // No split form: the serial Algorithm 1 loop, verbatim.
+                let mut planned = Vec::new();
+                let mut skip = BTreeSet::new();
+                while let Some(file) = policy.select_file(dfs, tier, now, &skip) {
+                    skip.insert(file);
+                    let target = policy.select_target(dfs, file, tier);
+                    if let Ok(id) = dfs.plan_downgrade(file, tier, target) {
+                        planned.push(id);
+                    }
+                    if policy.stop_downgrade(dfs, tier, now) {
+                        break;
+                    }
+                }
+                planned
+            }
+        }
     }
 
     /// Runs Algorithm 2, returning the transfers planned. `accessed` is the

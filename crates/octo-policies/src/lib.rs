@@ -14,10 +14,17 @@
 //! | LFU-F     | [`pacman`]  |      |             |
 //! | EXD       | [`weights`] |      |             |
 //! | XGB       | [`xgb`]     |      |             |
+//!
+//! The [`parallel`] module holds the split form of Algorithm 1 used by
+//! [`framework::TieringEngine::run_downgrade_pooled`]: per-shard candidate
+//! scans fan out over an [`octo_dfs::EpochPool`] and a serial
+//! order-preserving merge commits victims, byte-identical to the serial
+//! loop at any thread count.
 
 pub mod classic;
 pub mod framework;
 pub mod pacman;
+pub mod parallel;
 pub mod registry;
 pub mod weights;
 pub mod xgb;
@@ -28,6 +35,7 @@ pub use framework::{
     TieringConfig, TieringEngine, UpgradeChoice, UpgradePolicy,
 };
 pub use pacman::{LfuFDowngrade, LifeDowngrade};
+pub use parallel::{encode_f64, Candidate, PhasePlan, ScanBatch};
 pub use registry::{downgrade_policy, upgrade_policy, DOWNGRADE_NAMES, UPGRADE_NAMES};
 pub use weights::{DecayKind, ExdDowngrade, ExdUpgrade, LrfuDowngrade, LrfuUpgrade, WeightTracker};
 pub use xgb::{XgbDowngrade, XgbUpgrade, DOWNGRADE_WINDOW, UPGRADE_WINDOW};

@@ -17,13 +17,83 @@
 
 use crate::classic::{access_count, last_used};
 use crate::framework::{effective_utilization, DowngradePolicy, TieringConfig};
-use octo_common::{ByteSize, FileId, SimTime, StorageTier};
-use octo_dfs::TieredDfs;
+use crate::parallel::{Candidate, PhasePlan, ScanBatch};
+use octo_common::{ByteSize, FileId, SimDuration, SimTime, StorageTier};
+use octo_dfs::{EpochPool, ShardEpochPlan, TieredDfs};
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
 fn file_size(dfs: &TieredDfs, f: FileId) -> ByteSize {
     dfs.file_meta(f).map_or(ByteSize::ZERO, |m| m.size)
+}
+
+/// The split scan shared by LIFE and LFU-F. Old/new membership is frozen
+/// within a run (`now` and the index's last-use times do not move), so
+/// each shard classifies its recency slice once into a `P_old` and a
+/// `P_new` batch; the driver exhausts the merged `P_old` phase before
+/// touching `P_new`, which is exactly the serial prefix-then-suffix
+/// fallback order. `new_key` is the *minimized* `[u64; 3]` form of the
+/// serial maximization key (descending components bitwise-complemented).
+fn pacman_scan_phases(
+    pool: &EpochPool,
+    dfs: &TieredDfs,
+    tier: StorageTier,
+    now: SimTime,
+    window: SimDuration,
+    new_key: impl Fn(&TieredDfs, FileId) -> [u64; 3] + Sync,
+) -> Vec<PhasePlan> {
+    let pairs = pool.scan_shards(dfs, |v| {
+        let dfs = v.dfs();
+        let mut old = Vec::new();
+        let mut new = Vec::new();
+        for (last, f) in v.tier_recency_iter(tier) {
+            if !dfs.is_movable(f) {
+                continue;
+            }
+            if now.duration_since(last) > window {
+                let key = [access_count(dfs, f), last.as_millis(), f.raw()];
+                old.push(Candidate {
+                    order: key,
+                    select: key,
+                    file: f,
+                });
+            } else {
+                let key = new_key(dfs, f);
+                new.push(Candidate {
+                    order: key,
+                    select: key,
+                    file: f,
+                });
+            }
+        }
+        (ScanBatch::sorted(old), ScanBatch::sorted(new))
+    });
+    let (old, new) = pairs
+        .into_iter()
+        .map(|p| {
+            let (o, n) = p.items;
+            (
+                ShardEpochPlan {
+                    shard: p.shard,
+                    items: o,
+                },
+                ShardEpochPlan {
+                    shard: p.shard,
+                    items: n,
+                },
+            )
+        })
+        .unzip();
+    vec![
+        PhasePlan {
+            window: 1,
+            shards: old,
+        },
+        PhasePlan {
+            window: 1,
+            shards: new,
+        },
+    ]
 }
 
 /// Walks the tier's recency index once and returns the LFU victim of
@@ -105,6 +175,24 @@ impl DowngradePolicy for LifeDowngrade {
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
     }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        // P_new maximizes (size, Reverse(id)); minimized: (!size, id).
+        Some(pacman_scan_phases(
+            pool,
+            dfs,
+            tier,
+            now,
+            self.cfg.pacman_window,
+            |dfs, f| [!file_size(dfs, f).as_bytes(), f.raw(), 0],
+        ))
+    }
 }
 
 /// PACMan LFU-F.
@@ -145,5 +233,24 @@ impl DowngradePolicy for LfuFDowngrade {
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        // P_new maximizes Reverse((count, last, id)), i.e. minimizes the
+        // plain LFU key — same shape as the P_old phase.
+        Some(pacman_scan_phases(
+            pool,
+            dfs,
+            tier,
+            now,
+            self.cfg.pacman_window,
+            |dfs, f| [access_count(dfs, f), last_used(dfs, f).as_millis(), f.raw()],
+        ))
     }
 }

@@ -12,8 +12,9 @@
 use crate::framework::{
     effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice, UpgradePolicy,
 };
+use crate::parallel::{encode_f64, Candidate, PhasePlan, ScanBatch};
 use octo_common::{ByteSize, FileId, SimTime, StorageTier};
-use octo_dfs::TieredDfs;
+use octo_dfs::{EpochPool, TieredDfs};
 use std::collections::{BTreeSet, HashMap};
 
 /// How a weight decays with the time since its last update.
@@ -85,6 +86,38 @@ impl WeightTracker {
     }
 }
 
+/// The split scan shared by LRFU and EXD: weights are frozen within one
+/// run, so each shard decays and encodes its residents' weights once
+/// (instead of the serial loop's per-victim re-decay of the whole tier)
+/// and the ascending (encoded weight, id) merge is the serial victim
+/// sequence. Weight order is unrelated to any maintained index order, so
+/// the scan is exhaustive — no resume cursors.
+fn weight_scan_phases(
+    tracker: &WeightTracker,
+    pool: &EpochPool,
+    dfs: &TieredDfs,
+    tier: StorageTier,
+    now: SimTime,
+) -> Vec<PhasePlan> {
+    let shards = pool.scan_shards(dfs, |v| {
+        let dfs = v.dfs();
+        ScanBatch::sorted(
+            v.files_on_tier(tier)
+                .filter(|f| dfs.is_movable(*f))
+                .map(|f| {
+                    let key = [encode_f64(tracker.decayed_weight(f, now)), f.raw(), 0];
+                    Candidate {
+                        order: key,
+                        select: key,
+                        file: f,
+                    }
+                })
+                .collect(),
+        )
+    });
+    vec![PhasePlan { window: 1, shards }]
+}
+
 /// LRFU downgrade: evict the file with the lowest recency+frequency weight.
 #[derive(Debug, Clone)]
 pub struct LrfuDowngrade {
@@ -132,6 +165,16 @@ impl DowngradePolicy for LrfuDowngrade {
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        Some(weight_scan_phases(&self.tracker, pool, dfs, tier, now))
     }
 
     fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {
@@ -193,6 +236,16 @@ impl DowngradePolicy for ExdDowngrade {
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn scan_phases(
+        &self,
+        pool: &EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        Some(weight_scan_phases(&self.tracker, pool, dfs, tier, now))
     }
 
     fn on_file_created(&mut self, _dfs: &TieredDfs, file: FileId, now: SimTime) {

@@ -18,6 +18,7 @@ use crate::classic::last_used;
 use crate::framework::{
     effective_utilization, DowngradePolicy, TieringConfig, UpgradeChoice, UpgradePolicy,
 };
+use crate::parallel::{encode_f64, shard_budget, victim_hint, Candidate, PhasePlan, ScanBatch};
 use octo_access::{AccessPredictor, LearnerConfig};
 use octo_common::{ByteSize, DetRng, FileId, SimDuration, SimTime, StorageTier};
 use octo_dfs::TieredDfs;
@@ -56,6 +57,49 @@ fn sample_files(
         if let Some(stats) = dfs.file_stats(f) {
             predictor.observe_file(stats, now);
         }
+    }
+}
+
+/// One shard's slice of the XGB candidate stream: the first `budget`
+/// movable entries of the shard's recency walk, merge-ordered by the walk
+/// itself (the stream must reproduce LRU candidate-window membership) and
+/// window-ordered by (encoded prediction, last use, id) — the serial
+/// tie-break. Predictions are frozen within a run, so scoring each entry
+/// once at scan time replaces the serial loop's per-victim re-scoring of
+/// the whole window; this is where the split's algorithmic win comes from.
+fn xgb_scan_shard(
+    predictor: &AccessPredictor,
+    dfs: &TieredDfs,
+    shard: usize,
+    tier: StorageTier,
+    now: SimTime,
+    after: Option<(SimTime, FileId)>,
+    budget: usize,
+) -> ScanBatch {
+    let mut candidates = Vec::new();
+    for (t, f) in dfs.shard_tier_recency_iter_after(shard, tier, after) {
+        if !dfs.is_movable(f) {
+            continue;
+        }
+        let p = dfs
+            .file_stats(f)
+            .and_then(|s| predictor.predict(s, now))
+            .unwrap_or(0.0);
+        candidates.push(Candidate {
+            order: [t.as_millis(), f.raw(), 0],
+            select: [encode_f64(p), last_used(dfs, f).as_millis(), f.raw()],
+            file: f,
+        });
+        if candidates.len() == budget {
+            return ScanBatch {
+                candidates,
+                resume: Some((t, f)),
+            };
+        }
+    }
+    ScanBatch {
+        candidates,
+        resume: None,
     }
 }
 
@@ -159,6 +203,42 @@ impl DowngradePolicy for XgbDowngrade {
 
     fn stop_downgrade(&mut self, dfs: &TieredDfs, tier: StorageTier, _now: SimTime) -> bool {
         effective_utilization(dfs, tier) < self.cfg.stop_threshold
+    }
+
+    fn scan_phases(
+        &self,
+        pool: &octo_dfs::EpochPool,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+    ) -> Option<Vec<PhasePlan>> {
+        // Stream order is the LRU walk; the k = 200 window over the merged
+        // stream reproduces the serial "first k eligible remaining"
+        // candidate pool exactly.
+        let budget = shard_budget(
+            victim_hint(dfs, tier, self.cfg.stop_threshold),
+            self.cfg.xgb_candidates,
+        );
+        let predictor = &self.predictor;
+        let shards = pool.scan_shards(dfs, |v| {
+            xgb_scan_shard(predictor, v.dfs(), v.shard(), tier, now, None, budget)
+        });
+        Some(vec![PhasePlan {
+            window: self.cfg.xgb_candidates,
+            shards,
+        }])
+    }
+
+    fn rescan_shard(
+        &self,
+        dfs: &TieredDfs,
+        tier: StorageTier,
+        now: SimTime,
+        shard: usize,
+        resume: (SimTime, FileId),
+        budget: usize,
+    ) -> ScanBatch {
+        xgb_scan_shard(&self.predictor, dfs, shard, tier, now, Some(resume), budget)
     }
 
     fn on_file_accessed(&mut self, dfs: &TieredDfs, file: FileId, now: SimTime) {

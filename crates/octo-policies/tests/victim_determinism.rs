@@ -9,7 +9,7 @@
 
 use octo_access::LearnerConfig;
 use octo_common::{ByteSize, FileId, PerTier, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, TieredDfs};
+use octo_dfs::{DfsConfig, EpochPool, TieredDfs};
 use octo_policies::{downgrade_policy, TieringConfig, TieringEngine};
 
 const MEM: StorageTier = StorageTier::Memory;
@@ -55,8 +55,10 @@ fn fill_scrambled(dfs: &mut TieredDfs, engine: &mut TieringEngine) -> Vec<FileId
     files
 }
 
-/// Runs one full downgrade invocation and returns the victims in order.
-fn victim_sequence(policy: &str) -> Vec<u64> {
+/// Runs one full downgrade invocation through the given pool and returns
+/// the victims in order. The serial pool takes the untouched `run_downgrade`
+/// path; parallel pools exercise the split scan-merge-commit engine.
+fn victim_sequence_pooled(policy: &str, pool: &EpochPool) -> Vec<u64> {
     let mut dfs = small_dfs();
     // Aggressive thresholds so one invocation schedules a long sequence.
     let cfg = TieringConfig {
@@ -71,12 +73,17 @@ fn victim_sequence(policy: &str) -> Vec<u64> {
     );
     fill_scrambled(&mut dfs, &mut engine);
     let now = SimTime::from_secs(4_000);
-    let planned = engine.run_downgrade(&mut dfs, MEM, now);
+    let planned = engine.run_downgrade_pooled(&mut dfs, MEM, now, pool);
     assert!(!planned.is_empty(), "{policy}: nothing scheduled");
     planned
         .iter()
         .map(|id| dfs.transfer(*id).expect("in flight").file.raw())
         .collect()
+}
+
+/// Runs one full downgrade invocation and returns the victims in order.
+fn victim_sequence(policy: &str) -> Vec<u64> {
+    victim_sequence_pooled(policy, &EpochPool::serial())
 }
 
 #[test]
@@ -135,4 +142,18 @@ fn victim_sequences_are_pinned_per_policy() {
         got, want,
         "victim orders diverged from the pinned scan-era sequences"
     );
+}
+
+#[test]
+fn pooled_victim_sequences_match_serial_at_every_thread_count() {
+    for policy in ["lru", "lfu", "lrfu", "life", "lfu-f", "exd", "xgb"] {
+        let serial = victim_sequence(policy);
+        for threads in [2usize, 4, 16] {
+            let pooled = victim_sequence_pooled(policy, &EpochPool::new(threads));
+            assert_eq!(
+                pooled, serial,
+                "{policy}: split engine diverged from serial at {threads} threads"
+            );
+        }
+    }
 }
