@@ -26,6 +26,14 @@ pub struct FaultSummary {
     pub lost_files: u64,
     /// Bytes written by completed repair transfers.
     pub bytes_re_replicated: ByteSize,
+    /// Bytes of erasure-coded shards rebuilt by reconstruction repair
+    /// (disjoint from `bytes_re_replicated`).
+    pub bytes_reconstructed: ByteSize,
+    /// Erasure-coded stripe shards rebuilt by reconstruction repair.
+    pub stripes_rebuilt: u64,
+    /// Task reads served by decoding an erasure-coded stripe that was
+    /// missing a data shard (each pays the degraded-read amplification).
+    pub reads_degraded_ec: u64,
     /// Completed repair transfers.
     pub repairs_completed: u64,
     /// When the last fault event fired.

@@ -75,6 +75,11 @@ pub struct SimConfig {
     pub faults: FaultSchedule,
     /// Byte budget per monitor epoch for repair re-replication.
     pub repair_bandwidth: ByteSize,
+    /// Read-amplification factor for *degraded* erasure-coded reads — a
+    /// read that must decode around a missing data shard pulls `k` shards
+    /// and reconstructs, so its flow carries `penalty × block_size` bytes.
+    /// Healthy stripes and replicated blocks never pay it.
+    pub ec_degraded_read_penalty: f64,
     /// Worker threads for the per-shard epoch fan-out (policy candidate
     /// scans and repair-candidate collection). 1 = the serial code path;
     /// any value produces byte-identical simulations — the parallel engine
@@ -97,6 +102,7 @@ impl Default for SimConfig {
             seed: 42,
             faults: FaultSchedule::none(),
             repair_bandwidth: ByteSize::gb(2),
+            ec_degraded_read_penalty: 1.5,
             epoch_threads: 1,
         }
     }
@@ -325,9 +331,12 @@ impl<'t> ClusterSim<'t> {
             .collect();
         let movement = *self.dfs.movement_stats();
         self.fstats.bytes_re_replicated = movement.bytes_re_replicated();
+        self.fstats.bytes_reconstructed = movement.bytes_reconstructed();
+        self.fstats.stripes_rebuilt = self.dfs.blocks().stripes_rebuilt();
         self.fstats.repairs_completed = movement.repairs_completed;
-        // Walks the incrementally-maintained degraded set (every
-        // zero-replica block is deficient), not the whole namespace.
+        // Walks the incrementally-maintained degraded set (every lost block
+        // — replica-less and, for striped blocks, below `k` present shards
+        // — is deficient), not the whole namespace.
         self.fstats.lost_files = self.dfs.lost_files().count() as u64;
         RunReport {
             scenario: self.cfg.scenario.label(),
@@ -491,15 +500,41 @@ impl<'t> ClusterSim<'t> {
             .max_by_key(|r| (r.node == node, r.tier.rank(), std::cmp::Reverse(r.node)))
             .map(|r| (r.node, r.tier));
         let Some(src) = src else {
-            // No readable copy right now: park the task if one of the dead
-            // replicas' nodes will recover, abandon the job otherwise.
+            // No live replica. Erasure-coded blocks can still serve the read
+            // by decoding the stripe from any `k` live shards; the flow is
+            // anchored at the best surviving shard and, when a *data* shard
+            // is among the missing, carries the degraded-read amplification.
+            if let Some((src, degraded)) = self.stripe_read_source(block, node) {
+                let flow_bytes = if degraded {
+                    self.fstats.reads_degraded_ec += 1;
+                    ByteSize::from_bytes(
+                        (size.as_bytes() as f64 * self.cfg.ec_degraded_read_penalty) as u64,
+                    )
+                } else {
+                    size
+                };
+                self.dfs.io_started(src.0, src.1);
+                let id = FlowId(self.flow_ids.next_raw());
+                let path = self.resources.read_path(src, node);
+                self.flows.start_flow(now, id, flow_bytes, path);
+                self.flow_purpose.insert(
+                    id,
+                    FlowPurpose::Read {
+                        job,
+                        task,
+                        src,
+                        dst: node,
+                        had_mem: false,
+                        start: now,
+                    },
+                );
+                return;
+            }
+            // No readable copy right now: park the task if a recovery can
+            // bring one back, abandon the job otherwise.
             self.free_slots[node.index()] += 1;
             self.fstats.failed_reads += 1;
-            let recoverable = info
-                .replicas()
-                .iter()
-                .any(|r| r.dead && self.pending_recoveries[r.node.index()] > 0);
-            if recoverable {
+            if self.block_recoverable(block) {
                 self.blocked.push((job, task));
             } else {
                 self.fail_job(job, now);
@@ -691,9 +726,12 @@ impl<'t> ClusterSim<'t> {
         let planned = self.engine.run_upgrade(&mut self.dfs, None, now);
         self.execute_transfers(planned, now);
         self.check_downgrades(now);
-        if !self.cfg.faults.is_empty() {
-            // The Replication Monitor's repair epoch: re-replicate
-            // under-replicated files within the per-epoch byte budget.
+        if !self.cfg.faults.is_empty() || self.dfs.config().has_erasure() {
+            // The Replication Monitor's repair epoch: restore redundancy
+            // (re-replication and stripe reconstruction, interleaved)
+            // within the per-epoch byte budget. With erasure coding it also
+            // runs fault-free: de-striping upgrades leave a single replica
+            // behind that the monitor tops back up to the tier's target.
             let planned = self.repair.plan_epoch_pooled(&mut self.dfs, &self.pool);
             self.execute_transfers(planned, now);
             self.unpark_ready_tasks(now);
@@ -852,7 +890,7 @@ impl<'t> ClusterSim<'t> {
         self.free_slots[node.index()] = self.cfg.slots_per_node;
         self.unpark_ready_tasks(now);
         self.refresh_heal_state(now);
-        if self.dfs.has_under_replicated() {
+        if self.dfs.has_under_redundant() {
             self.arm_monitor(now);
         }
         self.schedule_tasks(now);
@@ -892,6 +930,58 @@ impl<'t> ClusterSim<'t> {
         self.schedule_tasks(now);
     }
 
+    /// Anchor device for an erasure-coded read of `block`, if its stripe can
+    /// decode right now (≥ `k` live shards). The flow is modelled from one
+    /// shard — local to the reader if possible, else the fastest tier —
+    /// and the bool reports whether the read is *degraded* (a data shard is
+    /// missing, so the reader must pull parity and reconstruct).
+    fn stripe_read_source(
+        &self,
+        block: octo_common::BlockId,
+        reader: NodeId,
+    ) -> Option<((NodeId, StorageTier), bool)> {
+        let s = self.dfs.blocks().stripe(block)?;
+        if !s.is_readable() {
+            return None;
+        }
+        let anchor = s.shards.iter().filter(|sh| !sh.dead).max_by_key(|sh| {
+            (
+                sh.node == reader,
+                sh.tier.rank(),
+                std::cmp::Reverse(sh.node),
+            )
+        })?;
+        Some(((anchor.node, anchor.tier), s.needs_degraded_read()))
+    }
+
+    /// True when `block` can serve a read right now: a live replica, or an
+    /// erasure-coded stripe with enough live shards to decode.
+    fn block_readable(&self, block: octo_common::BlockId) -> bool {
+        !self.dfs.block_info(block).is_unavailable()
+            || self
+                .dfs
+                .blocks()
+                .stripe(block)
+                .is_some_and(|s| s.is_readable())
+    }
+
+    /// True when some dead replica or shard of `block` sits on a node with
+    /// a recovery still scheduled — the block may become readable again
+    /// without repair, so parked tasks should wait rather than fail.
+    fn block_recoverable(&self, block: octo_common::BlockId) -> bool {
+        let will_recover = |n: NodeId| self.pending_recoveries[n.index()] > 0;
+        self.dfs
+            .block_info(block)
+            .replicas()
+            .iter()
+            .any(|r| r.dead && will_recover(r.node))
+            || self
+                .dfs
+                .blocks()
+                .stripe(block)
+                .is_some_and(|s| s.shards.iter().any(|sh| sh.dead && will_recover(sh.node)))
+    }
+
     /// Re-queues parked tasks whose block is readable again. Tasks whose
     /// block is still unavailable stay parked without a read attempt (so
     /// `failed_reads` counts genuine dispatch failures, not poll retries);
@@ -905,18 +995,10 @@ impl<'t> ClusterSim<'t> {
             if self.jobs[job].finished {
                 continue;
             }
-            let (unavailable, recoverable) = {
-                let info = self.dfs.block_info(self.jobs[job].tasks[task].block);
-                (
-                    info.is_unavailable(),
-                    info.replicas()
-                        .iter()
-                        .any(|r| r.dead && self.pending_recoveries[r.node.index()] > 0),
-                )
-            };
-            if !unavailable {
+            let block = self.jobs[job].tasks[task].block;
+            if self.block_readable(block) {
                 self.pending.push_back((job, task));
-            } else if recoverable {
+            } else if self.block_recoverable(block) {
                 self.blocked.push((job, task));
             } else {
                 // Every copy is gone and nobody is coming back for the
@@ -957,7 +1039,7 @@ impl<'t> ClusterSim<'t> {
         if self.cfg.faults.is_empty() {
             return;
         }
-        if self.dfs.has_under_replicated() {
+        if self.dfs.has_under_redundant() {
             self.fstats.full_replication_at = None;
         } else if self.fstats.last_fault_at.is_some() && self.fstats.full_replication_at.is_none() {
             self.fstats.full_replication_at = Some(now);

@@ -131,6 +131,60 @@ fn mass_crash_interrupts_reads_and_recovery_unblocks_them() {
     assert!(!report.jobs.iter().any(|j| j.failed));
 }
 
+/// The availability clock never claims a heal that did not happen: when
+/// nodes die for good and full redundancy cannot be restored,
+/// `full_replication_at` (and so `time_to_full_replication()`) stays
+/// `None` — for the replicated and the erasure-coded cold tier alike.
+#[test]
+fn unhealable_clusters_report_no_heal_time() {
+    use octo_common::NodeId;
+    use octo_workload::{FaultEvent, FaultKind};
+
+    let trace = small_trace(3);
+    // Well after the last job: the cluster is quiescent when the nodes die.
+    let end = trace.jobs.iter().map(|j| j.submit).max().unwrap() + SimDuration::from_hours(1);
+    let forever_down = |nodes: &[u32]| {
+        FaultSchedule::from_events(
+            nodes
+                .iter()
+                .map(|&n| FaultEvent {
+                    at: end,
+                    node: NodeId(n),
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        )
+    };
+
+    // Replication: 2 of 4 workers gone for good — a 3-replica target cannot
+    // be met on 2 surviving nodes, so the degraded set never empties.
+    let mut cfg = small_sim(Scenario::policy_pair("lru", "osa"));
+    cfg.faults = forever_down(&[1, 2]);
+    let report = run_trace(cfg, &trace);
+    assert!(report.faults.last_fault_at.is_some());
+    assert_eq!(report.faults.full_replication_at, None);
+    assert_eq!(report.faults.time_to_full_replication(), None);
+
+    // Erasure coding: EC(4,2) stripes span 6 of 8 workers, so three
+    // permanently-dead nodes leave some stripe below `k` live shards —
+    // unreconstructable, and the clock must keep saying so.
+    let mut cfg = small_sim(Scenario::policy_pair("lru", "osa"));
+    cfg.dfs.workers = 8;
+    cfg.dfs.tier_capacity =
+        PerTier::from_fn(|t| ByteSize::from_bytes(cfg.dfs.tier_capacity.get(t).as_bytes() / 2));
+    *cfg.dfs.redundancy.get_mut(StorageTier::Hdd) =
+        octo_dfs::RedundancyMode::Erasure { k: 4, m: 2 };
+    // Low downgrade thresholds so the LRU policy actually stripes cold
+    // files into the EC tier before the crash.
+    cfg.tiering.start_threshold = 0.30;
+    cfg.tiering.stop_threshold = 0.25;
+    cfg.faults = forever_down(&[1, 2, 3]);
+    let report = run_trace(cfg, &trace);
+    assert!(report.faults.last_fault_at.is_some());
+    assert_eq!(report.faults.full_replication_at, None);
+    assert_eq!(report.faults.time_to_full_replication(), None);
+}
+
 /// Faults also work without any tiering policy installed (plain OctopusFS):
 /// repair is driven by the monitor tick alone.
 #[test]

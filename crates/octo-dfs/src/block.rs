@@ -22,6 +22,7 @@
 //! lookup with no hashing. Aggregates that must answer in O(1)
 //! (`fully_replicated`) are maintained globally at update time.
 
+use crate::ec::{ShardLoc, Stripe, StripeManager};
 use crate::shard::{shard_of, shard_slot, MergeAsc, SHARD_COUNT};
 use octo_common::{BlockId, ByteSize, FileId, NodeId, OctoError, PerTier, Result, StorageTier};
 use serde::{Deserialize, Serialize};
@@ -131,6 +132,12 @@ pub struct BlockManager {
     /// repair prefers re-creating the copy on the tier it was lost from.
     /// Entries are dropped once the block is back at full replication.
     lost_tiers: HashMap<BlockId, Vec<StorageTier>>,
+    /// Erasure-coding stripe metadata for blocks downgraded into an
+    /// EC-configured tier. A striped block's deficiency is stripe-based
+    /// (`live shards < k + m`) instead of replica-based, but feeds the
+    /// same per-shard degraded maps — replication and reconstruction
+    /// repair share one candidate walk.
+    stripes: StripeManager,
 }
 
 impl Default for BlockManager {
@@ -144,6 +151,7 @@ impl Default for BlockManager {
             degraded_total: 0,
             target: 0,
             lost_tiers: HashMap::new(),
+            stripes: StripeManager::new(),
         }
     }
 }
@@ -220,19 +228,21 @@ impl BlockManager {
         }
     }
 
-    /// Re-evaluates one block's deficiency after a replica change and keeps
-    /// the per-file degraded index in sync. O(replicas) per call.
+    /// Re-evaluates one block's deficiency after a replica or shard change
+    /// and keeps the per-file degraded index in sync. Striped blocks are
+    /// deficient while any of their `k + m` shards is not live; everything
+    /// else uses the live-replica target. O(replicas + shards) per call.
     fn refresh_deficiency(&mut self, block: BlockId) {
         if self.target == 0 {
             return;
         }
         let (file, was, now) = {
             let b = self.block(block);
-            (
-                b.file,
-                b.deficient,
-                b.live_replicas() < self.target as usize,
-            )
+            let now = match self.stripes.get(block) {
+                Some(s) => !s.is_fully_redundant(),
+                None => b.live_replicas() < self.target as usize,
+            };
+            (b.file, b.deficient, now)
         };
         if was == now {
             return;
@@ -408,6 +418,11 @@ impl BlockManager {
     /// node came back) needs no repair, and an entry for it would never be
     /// cleaned up by the deficient→healthy transition.
     pub fn note_lost_tier(&mut self, block: BlockId, tier: StorageTier) {
+        if self.stripes.get(block).is_some() {
+            // Striped blocks repair by rebuilding shards toward the
+            // stripe's home tier, not by re-creating replicas.
+            return;
+        }
         if self.target > 0 && (self.block(block).live_replicas() as u32) < self.target {
             self.lost_tiers.entry(block).or_default().push(tier);
         }
@@ -416,6 +431,185 @@ impl BlockManager {
     /// Tiers this block lost replicas from (empty once fully replicated).
     pub fn lost_tiers(&self, block: BlockId) -> &[StorageTier] {
         self.lost_tiers.get(&block).map_or(&[], |v| v.as_slice())
+    }
+
+    // ------------------------------------------------------------------
+    // Erasure-coding stripes
+    // ------------------------------------------------------------------
+
+    /// The stripe protecting `block`, if it was striped into an EC tier.
+    pub fn stripe(&self, block: BlockId) -> Option<&Stripe> {
+        self.stripes.get(block)
+    }
+
+    /// The stripe catalog (diagnostics, tests, repair statistics).
+    pub fn stripes(&self) -> &StripeManager {
+        &self.stripes
+    }
+
+    /// Creates the (initially shard-less) stripe for `block` if absent —
+    /// the first landing shard write of a striping downgrade calls this.
+    pub fn ensure_stripe(
+        &mut self,
+        block: BlockId,
+        home: StorageTier,
+        k: u8,
+        m: u8,
+        shard_size: ByteSize,
+    ) {
+        if self.stripes.get(block).is_none() {
+            let file = self.block(block).file;
+            self.stripes.insert(Stripe {
+                block,
+                file,
+                home,
+                k,
+                m,
+                shard_size,
+                shards: Vec::new(),
+            });
+            self.refresh_deficiency(block);
+        }
+    }
+
+    /// Adds (or supersedes) shard `loc.index` of `block`'s stripe, keeping
+    /// the shard list ascending by index. When an earlier shard with the
+    /// same index exists — a rebuild landing while the dead original waits
+    /// for its node to return — the old shard is replaced and handed back
+    /// so the caller can free its space.
+    pub fn add_shard(&mut self, block: BlockId, loc: ShardLoc) -> Result<Option<ShardLoc>> {
+        let (file, replaced) = {
+            let s = self
+                .stripes
+                .get_mut(block)
+                .ok_or_else(|| OctoError::NotFound(format!("{block} has no stripe")))?;
+            if loc.index as usize >= s.total() {
+                return Err(OctoError::InvalidArgument(format!(
+                    "shard index {} out of range for EC({},{})",
+                    loc.index, s.k, s.m
+                )));
+            }
+            if s.shards
+                .iter()
+                .any(|sh| sh.node == loc.node && sh.index != loc.index)
+            {
+                return Err(OctoError::InvalidState(format!(
+                    "{} already holds a shard of {block}",
+                    loc.node
+                )));
+            }
+            let file = s.file;
+            let replaced = s
+                .shards
+                .iter()
+                .position(|sh| sh.index == loc.index)
+                .map(|p| s.shards.remove(p));
+            let at = s
+                .shards
+                .iter()
+                .position(|sh| sh.index > loc.index)
+                .unwrap_or(s.shards.len());
+            s.shards.insert(at, loc);
+            (file, replaced)
+        };
+        if let Some(old) = replaced {
+            self.bump_tier_count(file, old.tier, -1);
+        }
+        self.bump_tier_count(file, loc.tier, 1);
+        self.refresh_deficiency(block);
+        Ok(replaced)
+    }
+
+    /// Permanently removes the shard at `(node, index)` (device loss, or
+    /// dropping a superseded copy on node recovery), returning it so the
+    /// caller frees its space.
+    pub fn remove_shard(&mut self, block: BlockId, node: NodeId, index: u8) -> Result<ShardLoc> {
+        let (file, loc) = {
+            let s = self
+                .stripes
+                .get_mut(block)
+                .ok_or_else(|| OctoError::NotFound(format!("{block} has no stripe")))?;
+            let pos = s
+                .shards
+                .iter()
+                .position(|sh| sh.node == node && sh.index == index)
+                .ok_or_else(|| {
+                    OctoError::NotFound(format!("no shard {index} of {block} on {node}"))
+                })?;
+            (s.file, s.shards.remove(pos))
+        };
+        self.bump_tier_count(file, loc.tier, -1);
+        self.refresh_deficiency(block);
+        Ok(loc)
+    }
+
+    /// Flags or clears the dead state of the shard at `(node, index)`
+    /// (node crashed / recovered). Space accounting is untouched: the
+    /// bytes still occupy the device.
+    pub fn set_shard_dead(
+        &mut self,
+        block: BlockId,
+        node: NodeId,
+        index: u8,
+        dead: bool,
+    ) -> Result<()> {
+        let s = self
+            .stripes
+            .get_mut(block)
+            .ok_or_else(|| OctoError::NotFound(format!("{block} has no stripe")))?;
+        let sh = s
+            .shards
+            .iter_mut()
+            .find(|sh| sh.node == node && sh.index == index)
+            .ok_or_else(|| OctoError::NotFound(format!("no shard {index} of {block} on {node}")))?;
+        sh.dead = dead;
+        self.refresh_deficiency(block);
+        Ok(())
+    }
+
+    /// Removes `block`'s whole stripe (de-striping on upgrade, or file
+    /// deletion), returning it so the caller frees the shard space.
+    /// Deficiency tracking reverts to the live-replica target.
+    pub fn take_stripe(&mut self, block: BlockId) -> Option<Stripe> {
+        let s = self.stripes.remove(block)?;
+        for sh in &s.shards {
+            self.bump_tier_count(s.file, sh.tier, -1);
+        }
+        self.refresh_deficiency(block);
+        Some(s)
+    }
+
+    /// Every `(block, index, tier, dead)` stripe shard hosted by `node`,
+    /// ascending by block id then index — the fault path's shard analog of
+    /// [`BlockManager::replicas_on_node`].
+    pub fn shards_on_node(&self, node: NodeId) -> Vec<(BlockId, u8, StorageTier, bool)> {
+        self.stripes
+            .iter()
+            .flat_map(|s| {
+                s.shards
+                    .iter()
+                    .filter(|sh| sh.node == node)
+                    .map(|sh| (s.block, sh.index, sh.tier, sh.dead))
+            })
+            .collect()
+    }
+
+    /// True when the data of `block` is gone for good: no replica exists
+    /// and no stripe retains at least `k` shards (dead ones included — a
+    /// recovering node can still bring those back).
+    pub fn block_is_lost(&self, block: BlockId) -> bool {
+        self.block(block).replicas().is_empty()
+            && self.stripes.get(block).is_none_or(|s| s.is_lost())
+    }
+
+    /// Cumulative count of stripe shard rebuilds completed by repair.
+    pub fn stripes_rebuilt(&self) -> u64 {
+        self.stripes.stripes_rebuilt()
+    }
+
+    /// Records one completed stripe shard rebuild.
+    pub fn note_stripe_rebuilt(&mut self) {
+        self.stripes.note_rebuilt();
     }
 
     /// Every `(block, tier, moving, dead)` replica hosted by `node`, in
@@ -466,6 +660,13 @@ impl BlockManager {
         self.live_blocks -= 1;
         self.forget_deficiency(info.file, info.deficient);
         self.lost_tiers.remove(&block);
+        // Deleting a still-striped block (callers normally `take_stripe`
+        // first to free the shard space) must not leak index entries.
+        if let Some(s) = self.stripes.remove(block) {
+            for sh in &s.shards {
+                self.bump_tier_count(s.file, sh.tier, -1);
+            }
+        }
         for r in &info.replicas {
             self.bump_tier_count(info.file, r.tier, -1);
         }
@@ -670,6 +871,103 @@ mod tests {
         assert!(!bm.fully_replicated());
         bm.delete_block(b);
         assert!(bm.fully_replicated(), "deleted blocks stop counting");
+    }
+
+    #[test]
+    fn stripe_lifecycle_feeds_degraded_set_and_tier_index() {
+        let mut bm = BlockManager::with_target(3);
+        let f = FileId(0);
+        let b = bm.create_block(f, 0, ByteSize::mb(128));
+        bm.add_replica(b, NodeId(0), SSD).unwrap();
+        assert!(!bm.fully_replicated(), "1 < 3 live replicas");
+
+        // Striping: once the stripe exists, deficiency is shard-based.
+        bm.ensure_stripe(b, HDD, 2, 1, ByteSize::mb(64));
+        assert!(!bm.fully_replicated(), "no shards landed yet");
+        for i in 0..3u8 {
+            bm.add_shard(
+                b,
+                ShardLoc {
+                    node: NodeId(i as u32 + 1),
+                    tier: HDD,
+                    index: i,
+                    dead: false,
+                },
+            )
+            .unwrap();
+        }
+        assert!(bm.fully_replicated(), "k+m live shards despite one replica");
+        assert_eq!(bm.file_tier_count(f, HDD), 3);
+
+        // Kill a shard, then lose it for good.
+        bm.set_shard_dead(b, NodeId(1), 0, true).unwrap();
+        assert!(!bm.fully_replicated());
+        bm.remove_shard(b, NodeId(1), 0).unwrap();
+        assert_eq!(bm.file_tier_count(f, HDD), 2);
+        assert!(!bm.block_is_lost(b), "k shards remain");
+        bm.remove_replica(b, NodeId(0), SSD).unwrap();
+        assert!(!bm.block_is_lost(b), "still k shards, no replica needed");
+        bm.remove_shard(b, NodeId(2), 1).unwrap();
+        assert!(bm.block_is_lost(b), "fewer than k shards, no replica");
+
+        // De-striping clears the tier index and reverts to replica
+        // tracking (0 < 3 live replicas: deficient).
+        let s = bm.take_stripe(b).unwrap();
+        assert_eq!(s.shards.len(), 1);
+        assert_eq!(bm.file_tier_count(f, HDD), 0);
+        assert!(!bm.fully_replicated());
+    }
+
+    #[test]
+    fn shard_rebuild_supersedes_and_scans_by_node() {
+        let mut bm = BlockManager::with_target(1);
+        let b = bm.create_block(FileId(0), 0, ByteSize::mb(64));
+        bm.ensure_stripe(b, HDD, 2, 1, ByteSize::mb(32));
+        for i in 0..3u8 {
+            bm.add_shard(
+                b,
+                ShardLoc {
+                    node: NodeId(i as u32),
+                    tier: HDD,
+                    index: i,
+                    dead: false,
+                },
+            )
+            .unwrap();
+        }
+        // Two shards of one stripe on the same node is a placement bug.
+        let err = bm
+            .add_shard(
+                b,
+                ShardLoc {
+                    node: NodeId(0),
+                    tier: HDD,
+                    index: 1,
+                    dead: false,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_state");
+
+        // A rebuild of index 1 on a fresh node supersedes the original.
+        bm.set_shard_dead(b, NodeId(1), 1, true).unwrap();
+        let replaced = bm
+            .add_shard(
+                b,
+                ShardLoc {
+                    node: NodeId(3),
+                    tier: HDD,
+                    index: 1,
+                    dead: false,
+                },
+            )
+            .unwrap()
+            .expect("old shard handed back");
+        assert_eq!((replaced.node, replaced.dead), (NodeId(1), true));
+        assert!(bm.stripe(b).unwrap().is_fully_redundant());
+
+        assert_eq!(bm.shards_on_node(NodeId(3)), vec![(b, 1, HDD, false)]);
+        assert_eq!(bm.shards_on_node(NodeId(1)), vec![]);
     }
 
     #[test]

@@ -3,6 +3,23 @@
 use octo_common::{ByteSize, OctoError, PerTier, Result, StorageTier};
 use serde::{Deserialize, Serialize};
 
+/// How a tier protects block data against node and device loss.
+///
+/// The paper's engine replicates everywhere; production archives instead
+/// erasure-code cold data at ~(k+m)/k byte overhead. The mode is *per tier*:
+/// a block downgraded into an `Erasure`-configured tier is striped into
+/// `k` data + `m` parity shards on distinct nodes (see [`crate::ec`]), and
+/// de-striped again when upgraded back to a replicated tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundancyMode {
+    /// Keep whole-block replicas; the factor is advisory (the global
+    /// `replication` target still governs repair).
+    Replicated(u32),
+    /// Reed–Solomon erasure coding: any `k` of `k + m` shards reconstruct
+    /// the block; up to `m` concurrent shard losses are survivable.
+    Erasure { k: u8, m: u8 },
+}
+
 /// Static description of the cluster hardware and DFS parameters.
 ///
 /// Defaults mirror the paper's testbed (§7): 11 workers, three tiers sized
@@ -29,6 +46,11 @@ pub struct DfsConfig {
     /// How many recent access timestamps to retain per file (the paper's
     /// `k`, default 12; the ablation study also uses 6 and 18).
     pub access_history: usize,
+    /// Per-tier redundancy mode. Defaults to `Replicated(replication)` on
+    /// every tier, which is bit-identical to the pre-EC behavior; setting a
+    /// cold tier to `Erasure { k, m }` makes downgrades into it stripe the
+    /// block instead of moving a replica.
+    pub redundancy: PerTier<RedundancyMode>,
 }
 
 impl Default for DfsConfig {
@@ -53,6 +75,7 @@ impl Default for DfsConfig {
             nic_bandwidth_mbps: 1100.0,
             placement_fill_limit: 0.95,
             access_history: 12,
+            redundancy: PerTier::from_fn(|_| RedundancyMode::Replicated(3)),
         }
     }
 }
@@ -97,7 +120,56 @@ impl DfsConfig {
         if self.access_history == 0 {
             return Err(OctoError::Config("access_history must be >= 1".into()));
         }
+        for (tier, mode) in self.redundancy.iter() {
+            match *mode {
+                RedundancyMode::Replicated(factor) => {
+                    if factor == 0 {
+                        return Err(OctoError::Config(format!(
+                            "{tier} replication factor must be >= 1"
+                        )));
+                    }
+                }
+                RedundancyMode::Erasure { k, m } => {
+                    if k == 0 || m == 0 {
+                        return Err(OctoError::Config(format!(
+                            "{tier} erasure coding needs k >= 1 and m >= 1"
+                        )));
+                    }
+                    if k as u32 + m as u32 > self.workers {
+                        return Err(OctoError::Config(format!(
+                            "{tier} EC({k},{m}) needs {} distinct nodes but the \
+                             cluster has {}",
+                            k as u32 + m as u32,
+                            self.workers
+                        )));
+                    }
+                    if tier == StorageTier::Memory {
+                        return Err(OctoError::Config(
+                            "erasure coding on the memory tier is unsupported: \
+                             crashes destroy DRAM shards faster than any m can \
+                             cover"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// `(k, m)` when `tier` is erasure-coded, `None` when it replicates.
+    pub fn erasure_for(&self, tier: StorageTier) -> Option<(u8, u8)> {
+        match *self.redundancy.get(tier) {
+            RedundancyMode::Erasure { k, m } => Some((k, m)),
+            RedundancyMode::Replicated(_) => None,
+        }
+    }
+
+    /// Whether any tier is erasure-coded.
+    pub fn has_erasure(&self) -> bool {
+        StorageTier::ALL
+            .iter()
+            .any(|&t| self.erasure_for(t).is_some())
     }
 
     /// Total capacity of a tier across all workers.
@@ -156,6 +228,43 @@ mod tests {
         assert!(bad(
             |c| *c.tier_bandwidth_mbps.get_mut(StorageTier::Hdd) = -1.0
         ));
+    }
+
+    #[test]
+    fn redundancy_validation() {
+        let bad = |f: fn(&mut DfsConfig)| {
+            let mut c = DfsConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        // Zero-sided codes and zero replication factors are rejected.
+        assert!(bad(
+            |c| *c.redundancy.get_mut(StorageTier::Hdd) = RedundancyMode::Erasure { k: 0, m: 2 }
+        ));
+        assert!(bad(
+            |c| *c.redundancy.get_mut(StorageTier::Hdd) = RedundancyMode::Erasure { k: 4, m: 0 }
+        ));
+        assert!(bad(
+            |c| *c.redundancy.get_mut(StorageTier::Ssd) = RedundancyMode::Replicated(0)
+        ));
+        // k + m must fit in the cluster.
+        assert!(bad(|c| {
+            c.workers = 5;
+            *c.redundancy.get_mut(StorageTier::Hdd) = RedundancyMode::Erasure { k: 4, m: 2 };
+        }));
+        // Memory never erasure-codes.
+        assert!(bad(
+            |c| *c.redundancy.get_mut(StorageTier::Memory) = RedundancyMode::Erasure { k: 4, m: 2 }
+        ));
+
+        // EC(4,2) on the default 11-worker HDD tier is fine.
+        let mut c = DfsConfig::default();
+        *c.redundancy.get_mut(StorageTier::Hdd) = RedundancyMode::Erasure { k: 4, m: 2 };
+        assert!(c.validate().is_ok());
+        assert_eq!(c.erasure_for(StorageTier::Hdd), Some((4, 2)));
+        assert_eq!(c.erasure_for(StorageTier::Ssd), None);
+        assert!(c.has_erasure());
+        assert!(!DfsConfig::default().has_erasure());
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct NodeFailure {
     pub lost_bytes: ByteSize,
     /// Disk replicas marked dead (offline until the node recovers).
     pub offlined_replicas: u64,
+    /// Erasure-coded stripe shards marked dead (offline until the node
+    /// recovers).
+    pub offlined_shards: u64,
+    /// Erasure-coded stripe shards destroyed for good (device loss).
+    pub lost_shards: u64,
 }
 
 /// The replica layout chosen for one new block.
@@ -259,6 +264,12 @@ impl TieredDfs {
         let mut freed = ByteSize::ZERO;
         for &b in &meta.blocks {
             let size = self.blocks.block(b).size;
+            if let Some(s) = self.blocks.take_stripe(b) {
+                for sh in &s.shards {
+                    self.nodes.free_used(sh.node, sh.tier, s.shard_size);
+                    freed += s.shard_size;
+                }
+            }
             for replica in self.blocks.delete_block(b) {
                 self.nodes.free_used(replica.node, replica.tier, size);
                 freed += size;
@@ -316,7 +327,14 @@ impl TieredDfs {
                         .set_moving(bt.block, from.0, from.1, true)
                         .expect("source replica exists");
                 }
-                BlockAction::Copy { .. } => {}
+                // EC actions read from a replica that a companion Drop
+                // already flagged, or from stripe shards (which have no
+                // moving flag — the file-level in-flight guard serializes
+                // transfers per file).
+                BlockAction::Copy { .. }
+                | BlockAction::EcWrite { .. }
+                | BlockAction::EcRebuild { .. }
+                | BlockAction::Unstripe { .. } => {}
             }
         }
         self.files.get_mut(file).expect("validated").in_flight += 1;
@@ -331,10 +349,66 @@ impl TieredDfs {
         }
     }
 
+    /// Plans striping one block into EC(k, m) on `ec_tier`: places the
+    /// `k + m` shards on distinct live nodes (home tier first, spilling to
+    /// lower tiers when full) and reserves their space. Appends the shard
+    /// writes plus a drop of the source replica to `actions`; on placement
+    /// failure everything reserved for this block is rolled back and
+    /// `false` returned so the caller can fall back.
+    fn try_plan_stripe(
+        &mut self,
+        block: BlockId,
+        src: (NodeId, StorageTier),
+        ec_tier: StorageTier,
+        actions: &mut Vec<BlockTransfer>,
+    ) -> bool {
+        let (k, m) = self
+            .config
+            .erasure_for(ec_tier)
+            .expect("caller checked the tier is EC-configured");
+        let size = self.blocks.block(block).size;
+        let ssize = crate::ec::shard_size(size, k);
+        let mut exclude: Vec<NodeId> = Vec::new();
+        let mut shards: Vec<BlockTransfer> = Vec::new();
+        for index in 0..(k + m) {
+            let placed = std::iter::once(ec_tier)
+                .chain(ec_tier.tiers_below())
+                .find_map(|t| self.placement.place_shard(&self.nodes, ssize, t, &exclude));
+            let Some(to) = placed else {
+                self.rollback_reservations(&shards);
+                return false;
+            };
+            self.nodes
+                .reserve(to.0, to.1, ssize)
+                .expect("place_shard verified capacity");
+            exclude.push(to.0);
+            shards.push(BlockTransfer {
+                block,
+                size: ssize,
+                action: BlockAction::EcWrite {
+                    from: src,
+                    to,
+                    index,
+                },
+            });
+        }
+        actions.append(&mut shards);
+        actions.push(BlockTransfer {
+            block,
+            size,
+            action: BlockAction::Drop { from: src },
+        });
+        true
+    }
+
     /// Plans moving `file`'s replicas *off* `from_tier` (§5). Each block
     /// replica on that tier is moved to the placement-chosen lower tier, or
     /// deleted when `target` is [`DowngradeTarget::Delete`] or no lower tier
-    /// has room.
+    /// has room. Replicated destination tiers are preferred; when only an
+    /// `Erasure`-configured tier remains (the cold-archive case) the block
+    /// is striped into `k + m` shards there instead of moved whole, and a
+    /// block whose stripe already exists simply drops the source replica —
+    /// the stripe keeps protecting the data.
     pub fn plan_downgrade(
         &mut self,
         file: FileId,
@@ -367,18 +441,44 @@ impl TieredDfs {
                         }
                         _ => from_tier.tiers_below().collect(),
                     };
-                    match self
-                        .placement
-                        .place_move(&self.nodes, info, &allowed, src.0)
-                    {
-                        Some(to) => {
-                            self.nodes
-                                .reserve(to.0, to.1, size)
-                                .expect("place_move verified capacity");
-                            BlockAction::Move { from: src, to }
+                    if self.blocks.stripe(b).is_some_and(|s| s.is_readable()) {
+                        // Already erasure-coded below: the replica leaving
+                        // `from_tier` needs no new home.
+                        BlockAction::Drop { from: src }
+                    } else {
+                        let replicated: Vec<StorageTier> = allowed
+                            .iter()
+                            .copied()
+                            .filter(|t| self.config.erasure_for(*t).is_none())
+                            .collect();
+                        let ec_tier = allowed
+                            .iter()
+                            .copied()
+                            .find(|t| self.config.erasure_for(*t).is_some());
+                        match self
+                            .placement
+                            .place_move(&self.nodes, info, &replicated, src.0)
+                        {
+                            Some(to) => {
+                                self.nodes
+                                    .reserve(to.0, to.1, size)
+                                    .expect("place_move verified capacity");
+                                BlockAction::Move { from: src, to }
+                            }
+                            None => {
+                                let striped = ec_tier.is_some_and(|t| {
+                                    self.blocks.stripe(b).is_none()
+                                        && self.try_plan_stripe(b, src, t, &mut actions)
+                                });
+                                if striped {
+                                    // try_plan_stripe appended the shard
+                                    // writes and the source drop itself.
+                                    continue;
+                                }
+                                // Nothing below has room: evict, don't stall.
+                                BlockAction::Drop { from: src }
+                            }
                         }
-                        // Nothing below has room: evict rather than stall.
-                        None => BlockAction::Drop { from: src },
                     }
                 }
             };
@@ -397,8 +497,12 @@ impl TieredDfs {
     }
 
     /// Plans moving `file` *onto* `to_tier` (§6): for every block lacking a
-    /// replica there, its lowest-tier replica is moved up. All-or-nothing:
-    /// if any block cannot be placed, the whole plan is abandoned.
+    /// replica there, its lowest-tier replica is moved up — or, for a block
+    /// that lives only as an erasure-coded stripe, the stripe is decoded
+    /// into a fresh replica on `to_tier` (the stripe is deleted at
+    /// completion; the repair planner then re-replicates the block up to
+    /// the target). All-or-nothing: if any block cannot be placed, the
+    /// whole plan is abandoned.
     pub fn plan_upgrade(&mut self, file: FileId, to_tier: StorageTier) -> Result<TransferId> {
         self.movable_file(file)?;
         let mut actions: Vec<BlockTransfer> = Vec::new();
@@ -418,13 +522,47 @@ impl TieredDfs {
                 .filter(|r| !r.moving && !r.dead && to_tier.is_higher_than(r.tier))
                 .min_by_key(|r| (r.tier.rank(), r.node))
                 .copied();
-            let Some(src) = src else {
-                self.rollback_reservations(&actions);
-                return Err(OctoError::InvalidState(format!(
-                    "{b} has no movable replica below {to_tier}"
-                )));
-            };
             let size = info.size;
+            let Some(src) = src else {
+                // No whole replica below — decode the stripe if it can
+                // still serve reads (>= k live shards).
+                let anchor = self
+                    .blocks
+                    .stripe(b)
+                    .filter(|s| s.is_readable())
+                    .and_then(|s| {
+                        s.shards
+                            .iter()
+                            .filter(|sh| !sh.dead)
+                            .max_by_key(|sh| (sh.tier.rank(), std::cmp::Reverse(sh.node)))
+                            .map(|sh| (sh.node, sh.tier))
+                    });
+                let Some(anchor) = anchor else {
+                    self.rollback_reservations(&actions);
+                    return Err(OctoError::InvalidState(format!(
+                        "{b} has no movable replica below {to_tier}"
+                    )));
+                };
+                let info = self.blocks.block(b);
+                let Some(to) = self
+                    .placement
+                    .place_move(&self.nodes, info, &[to_tier], anchor.0)
+                else {
+                    self.rollback_reservations(&actions);
+                    return Err(OctoError::OutOfCapacity(format!(
+                        "{to_tier} cannot hold {b} ({size})"
+                    )));
+                };
+                self.nodes
+                    .reserve(to.0, to.1, size)
+                    .expect("place_move verified capacity");
+                actions.push(BlockTransfer {
+                    block: b,
+                    size,
+                    action: BlockAction::Unstripe { from: anchor, to },
+                });
+                continue;
+            };
             let Some(to) = self
                 .placement
                 .place_move(&self.nodes, info, &[to_tier], src.node)
@@ -560,6 +698,53 @@ impl TieredDfs {
                     self.blocks.remove_replica(bt.block, from.0, from.1)?;
                     self.nodes.free_used(from.0, from.1, bt.size);
                 }
+                BlockAction::EcWrite { to, index, .. } => {
+                    let (k, m) = self
+                        .config
+                        .erasure_for(to.1)
+                        .expect("EcWrite planned against an EC tier");
+                    self.blocks.ensure_stripe(bt.block, to.1, k, m, bt.size);
+                    let replaced = self.blocks.add_shard(
+                        bt.block,
+                        crate::ec::ShardLoc {
+                            node: to.0,
+                            tier: to.1,
+                            index,
+                            dead: false,
+                        },
+                    )?;
+                    self.nodes.commit_reserved(to.0, to.1, bt.size);
+                    if let Some(old) = replaced {
+                        self.nodes.free_used(old.node, old.tier, bt.size);
+                    }
+                }
+                BlockAction::EcRebuild { to, index, .. } => {
+                    let replaced = self.blocks.add_shard(
+                        bt.block,
+                        crate::ec::ShardLoc {
+                            node: to.0,
+                            tier: to.1,
+                            index,
+                            dead: false,
+                        },
+                    )?;
+                    self.nodes.commit_reserved(to.0, to.1, bt.size);
+                    if let Some(old) = replaced {
+                        self.nodes.free_used(old.node, old.tier, bt.size);
+                    }
+                    self.blocks.note_stripe_rebuilt();
+                }
+                BlockAction::Unstripe { to, .. } => {
+                    self.blocks.add_replica(bt.block, to.0, to.1)?;
+                    self.nodes.commit_reserved(to.0, to.1, bt.size);
+                    let s = self
+                        .blocks
+                        .take_stripe(bt.block)
+                        .expect("Unstripe planned against a striped block");
+                    for sh in &s.shards {
+                        self.nodes.free_used(sh.node, sh.tier, s.shard_size);
+                    }
+                }
             }
         }
         let meta = self
@@ -592,7 +777,10 @@ impl TieredDfs {
                         .set_moving(bt.block, from.0, from.1, false)
                         .expect("source replica exists");
                 }
-                BlockAction::Copy { .. } => {}
+                BlockAction::Copy { .. }
+                | BlockAction::EcWrite { .. }
+                | BlockAction::EcRebuild { .. }
+                | BlockAction::Unstripe { .. } => {}
             }
         }
         self.files
@@ -673,6 +861,16 @@ impl TieredDfs {
                 failure.offlined_replicas += 1;
             }
         }
+        // Stripe shards never live in memory (validation bars EC there), so
+        // a crash only takes them offline — like disk replicas.
+        for (block, index, tier, dead) in self.blocks.shards_on_node(node) {
+            debug_assert!(!dead, "the node was up until now");
+            debug_assert!(tier != StorageTier::Memory, "no EC on the memory tier");
+            self.blocks
+                .set_shard_dead(block, node, index, true)
+                .expect("shard listed by the scan");
+            failure.offlined_shards += 1;
+        }
         self.nodes.set_alive(node, false);
         Ok(failure)
     }
@@ -692,6 +890,17 @@ impl TieredDfs {
                 self.blocks
                     .set_dead(block, node, tier, false)
                     .expect("replica listed by the scan");
+                restored += 1;
+            }
+        }
+        // Dead shards come back too. A shard a completed rebuild superseded
+        // while the node was down is no longer listed (the rebuild removed
+        // it and freed its space), so no duplicate can revive.
+        for (block, index, _tier, dead) in self.blocks.shards_on_node(node) {
+            if dead {
+                self.blocks
+                    .set_shard_dead(block, node, index, false)
+                    .expect("shard listed by the scan");
                 restored += 1;
             }
         }
@@ -727,6 +936,22 @@ impl TieredDfs {
             failure.lost_replicas += 1;
             failure.lost_bytes += size;
         }
+        for (block, index, stier, _dead) in self.blocks.shards_on_node(node) {
+            if stier != tier {
+                continue;
+            }
+            let (file, ssize) = {
+                let s = self.blocks.stripe(block).expect("shard listed by the scan");
+                (s.file, s.shard_size)
+            };
+            self.blocks
+                .remove_shard(block, node, index)
+                .expect("shard listed by the scan");
+            self.free_destroyed(file, (node, tier), ssize);
+            self.resync_residency(file, tier);
+            failure.lost_shards += 1;
+            failure.lost_bytes += ssize;
+        }
         Ok(failure)
     }
 
@@ -738,6 +963,13 @@ impl TieredDfs {
     /// source's tier, spilling to lower tiers when full. Partial repair is
     /// allowed — blocks that cannot be repaired right now are skipped and
     /// picked up by a later epoch.
+    ///
+    /// Striped blocks repair by *reconstruction* instead: every stripe
+    /// index lacking a live shard gets an [`BlockAction::EcRebuild`] onto a
+    /// fresh node (home tier first, spilling down), provided at least `k`
+    /// shards survive to decode from. Both repair flavors ride the same
+    /// transfer and share the planner's byte budget, so replication and EC
+    /// repairs interleave deterministically.
     pub fn plan_repair(&mut self, file: FileId) -> Result<TransferId> {
         self.movable_file(file)?;
         let target = self.config.replication as usize;
@@ -745,6 +977,10 @@ impl TieredDfs {
         let mut i = 0;
         while let Some(b) = self.nth_block(file, i) {
             i += 1;
+            if self.blocks.stripe(b).is_some() {
+                self.plan_stripe_rebuilds(b, &mut actions);
+                continue;
+            }
             let info = self.blocks.block(b);
             let live = info.live_replicas();
             if live >= target {
@@ -809,12 +1045,68 @@ impl TieredDfs {
         Ok(self.finish_plan(file, TransferKind::Repair, actions))
     }
 
-    /// Committed files with at least one under-replicated block, ascending
-    /// by id, as `(file, min live replicas over its blocks, target)`. Walks
-    /// the incrementally-maintained degraded set — no namespace scan — so
-    /// the Replication Monitor, the repair planner, and the tests all share
-    /// one source of truth.
-    pub fn under_replicated_files(&self) -> impl Iterator<Item = (FileId, usize, usize)> + '_ {
+    /// Appends reconstruction rebuilds for every missing shard of `block`'s
+    /// stripe (no-op when the stripe is healthy, or unreadable — fewer than
+    /// `k` survivors cannot decode anything).
+    fn plan_stripe_rebuilds(&mut self, block: BlockId, actions: &mut Vec<BlockTransfer>) {
+        let Some((home, ssize, missing, anchor, mut exclude)) =
+            self.blocks.stripe(block).and_then(|s| {
+                if s.is_fully_redundant() || !s.is_readable() {
+                    return None;
+                }
+                let anchor = s
+                    .shards
+                    .iter()
+                    .filter(|sh| !sh.dead)
+                    .max_by_key(|sh| (sh.tier.rank(), std::cmp::Reverse(sh.node)))?;
+                Some((
+                    s.home,
+                    s.shard_size,
+                    s.missing_indices(),
+                    (anchor.node, anchor.tier),
+                    s.nodes().collect::<Vec<NodeId>>(),
+                ))
+            })
+        else {
+            return;
+        };
+        for index in missing {
+            let placed = std::iter::once(home)
+                .chain(home.tiers_below())
+                .find_map(|t| self.placement.place_shard(&self.nodes, ssize, t, &exclude));
+            let Some(to) = placed else {
+                continue;
+            };
+            self.nodes
+                .reserve(to.0, to.1, ssize)
+                .expect("place_shard verified capacity");
+            exclude.push(to.0);
+            actions.push(BlockTransfer {
+                block,
+                size: ssize,
+                action: BlockAction::EcRebuild {
+                    from: anchor,
+                    to,
+                    index,
+                },
+            });
+        }
+    }
+
+    /// Committed files with at least one under-*redundant* block, ascending
+    /// by id, as `(file, min live redundancy units over its blocks,
+    /// target)`. A block is under-redundant when its live replica count is
+    /// below the target — or, for a striped block, when any of its `k + m`
+    /// shards is not live. A degraded-but-reconstructable EC file (at most
+    /// `m` shards lost per stripe) shows up here, **not** in
+    /// [`TieredDfs::lost_files`]. Walks the incrementally-maintained
+    /// degraded set — no namespace scan — so the Replication Monitor, the
+    /// repair planner, and the tests all share one source of truth.
+    ///
+    /// The middle element counts live replicas for replicated blocks and
+    /// live shards for striped ones (whose per-block target is `k + m`, not
+    /// the returned replication target).
+    pub fn under_redundant_files(&self) -> impl Iterator<Item = (FileId, usize, usize)> + '_ {
         let target = self.config.replication as usize;
         self.blocks.degraded_files().filter_map(move |f| {
             let meta = self.files.get(f)?;
@@ -824,16 +1116,32 @@ impl TieredDfs {
             let min_live = meta
                 .blocks
                 .iter()
-                .map(|b| self.blocks.block(*b).live_replicas())
+                .map(|b| match self.blocks.stripe(*b) {
+                    Some(s) => s.live(),
+                    None => self.blocks.block(*b).live_replicas(),
+                })
                 .min()
                 .unwrap_or(0);
             Some((f, min_live, target))
         })
     }
 
-    /// True while some committed file is under-replicated.
+    /// Deprecated name of [`TieredDfs::under_redundant_files`], kept so
+    /// pre-EC callers keep compiling.
+    #[deprecated(note = "renamed to `under_redundant_files` (EC-aware)")]
+    pub fn under_replicated_files(&self) -> impl Iterator<Item = (FileId, usize, usize)> + '_ {
+        self.under_redundant_files()
+    }
+
+    /// True while some committed file is under-redundant.
+    pub fn has_under_redundant(&self) -> bool {
+        self.under_redundant_files().next().is_some()
+    }
+
+    /// Deprecated name of [`TieredDfs::has_under_redundant`].
+    #[deprecated(note = "renamed to `has_under_redundant` (EC-aware)")]
     pub fn has_under_replicated(&self) -> bool {
-        self.under_replicated_files().next().is_some()
+        self.has_under_redundant()
     }
 
     /// True while `node` is up.
@@ -961,17 +1269,23 @@ impl TieredDfs {
         self.blocks.shard_degraded_files(shard)
     }
 
-    /// One shard's committed under-replicated files, ascending by id — the
+    /// One shard's committed under-redundant files, ascending by id — the
     /// shard leg of the candidate list
-    /// [`TieredDfs::under_replicated_files`] yields, with the same
+    /// [`TieredDfs::under_redundant_files`] yields, with the same
     /// committed-state filter applied.
-    pub fn shard_under_replicated_files(&self, shard: usize) -> impl Iterator<Item = FileId> + '_ {
+    pub fn shard_under_redundant_files(&self, shard: usize) -> impl Iterator<Item = FileId> + '_ {
         self.blocks
             .shard_degraded_files(shard)
             .filter_map(|(f, _)| {
                 let meta = self.files.get(f)?;
                 (meta.state == FileState::Complete).then_some(f)
             })
+    }
+
+    /// Deprecated name of [`TieredDfs::shard_under_redundant_files`].
+    #[deprecated(note = "renamed to `shard_under_redundant_files` (EC-aware)")]
+    pub fn shard_under_replicated_files(&self, shard: usize) -> impl Iterator<Item = FileId> + '_ {
+        self.shard_under_redundant_files(shard)
     }
 
     /// Bytes currently scheduled to move off or be dropped from `tier`.
@@ -1077,25 +1391,26 @@ impl TieredDfs {
         self.files.iter()
     }
 
-    /// Files with at least one block that currently has *no* replica at
-    /// all (lost for good unless a dead node holding a copy recovers),
-    /// ascending by id. Walks the incrementally-maintained degraded set —
-    /// every zero-replica block is deficient since the replication target
-    /// is >= 1 — instead of scanning the namespace.
+    /// Files with at least one block whose data is gone: no replica at all
+    /// *and* no stripe retaining at least `k` shards (dead replicas and
+    /// shards count as recoverable — their nodes may come back), ascending
+    /// by id. An EC file that lost up to `m` shards per stripe is degraded
+    /// but reconstructable, so it appears in
+    /// [`TieredDfs::under_redundant_files`] — never here. Walks the
+    /// incrementally-maintained degraded set — every lost block is
+    /// deficient — instead of scanning the namespace.
     pub fn lost_files(&self) -> impl Iterator<Item = FileId> + '_ {
         self.blocks.degraded_files().filter(move |f| {
-            self.files.get(*f).is_some_and(|m| {
-                m.blocks
-                    .iter()
-                    .any(|b| self.blocks.block(*b).replicas().is_empty())
-            })
+            self.files
+                .get(*f)
+                .is_some_and(|m| m.blocks.iter().any(|b| self.blocks.block_is_lost(*b)))
         })
     }
 
     /// Replication monitor report: blocks whose *live* replica count
     /// deviates from the configured factor (only meaningful for committed
     /// files) — replicas on crashed nodes do not count, so the per-block
-    /// view agrees with [`TieredDfs::under_replicated_files`]. Lazy: the
+    /// view agrees with [`TieredDfs::under_redundant_files`]. Lazy: the
     /// monitor tick streams the deviations without materializing a fresh
     /// `Vec` per invocation.
     pub fn replication_report(&self) -> impl Iterator<Item = (BlockId, usize, usize)> + '_ {

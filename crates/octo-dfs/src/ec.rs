@@ -1,0 +1,562 @@
+//! Erasure coding for cold tiers: a systematic Reed–Solomon codec over
+//! GF(256) plus the stripe metadata the block manager tracks.
+//!
+//! A block downgraded into an [`crate::config::RedundancyMode::Erasure`]
+//! tier is split into `k` data shards of `ceil(size / k)` bytes and extended
+//! with `m` parity shards computed from a Cauchy generator matrix; any `k`
+//! of the `k + m` shards reconstruct the block, so up to `m` concurrent
+//! shard losses are survivable at `(k + m) / k` byte overhead instead of
+//! the replication factor.
+//!
+//! Two layers live here:
+//!
+//! * [`ReedSolomon`] — the actual codec (encode, reconstruct via
+//!   Gauss–Jordan inversion of the surviving rows). The simulation never
+//!   moves real payload bytes, but the codec is exercised end to end by the
+//!   unit tests and `examples/erasure.rs` so the math is honest, not a
+//!   placeholder.
+//! * [`Stripe`] / [`ShardLoc`] / [`StripeManager`] — the metadata layer:
+//!   which `(node, tier)` holds which shard index, which shards are dead
+//!   (node down) or gone (device lost), and whether the stripe is readable,
+//!   degraded, or lost. [`crate::block::BlockManager`] owns a
+//!   `StripeManager` and folds stripe deficiency into the same incremental
+//!   degraded set the replication repair path walks.
+
+use octo_common::{BlockId, ByteSize, FileId, NodeId, StorageTier};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// GF(256) arithmetic (AES polynomial 0x11d), const-built tables
+// ---------------------------------------------------------------------
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= 0x11d;
+        }
+        i += 1;
+    }
+    // Mirror the cycle so `exp[log a + log b]` never needs a mod 255.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const GF_TABLES: ([u8; 512], [u8; 256]) = build_tables();
+
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = (&GF_TABLES.0, &GF_TABLES.1);
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+#[inline]
+fn gf_inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "zero has no inverse in GF(256)");
+    let (exp, log) = (&GF_TABLES.0, &GF_TABLES.1);
+    exp[255 - log[a as usize] as usize]
+}
+
+/// Size of one shard of a `size`-byte block under EC(k, _): ceiling
+/// division, so `k` shards always cover the block.
+pub fn shard_size(size: ByteSize, k: u8) -> ByteSize {
+    assert!(k >= 1, "EC needs k >= 1");
+    ByteSize::from_bytes(size.as_bytes().div_ceil(k as u64))
+}
+
+// ---------------------------------------------------------------------
+// The codec
+// ---------------------------------------------------------------------
+
+/// A systematic Reed–Solomon code: shards `0..k` are the data verbatim,
+/// shards `k..k+m` are parity rows of a Cauchy matrix (`1 / (x_j ^ y_i)`
+/// with `y_i = i`, `x_j = k + j` — all distinct, so every square submatrix
+/// of the generator is invertible and *any* `k` shards reconstruct).
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `m x k` parity generator rows.
+    parity: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Builds the EC(k, m) codec. Panics unless `1 <= k`, `1 <= m`, and
+    /// `k + m <= 256` (the field size bounds the Cauchy construction).
+    pub fn new(k: u8, m: u8) -> Self {
+        assert!(k >= 1 && m >= 1, "EC needs k >= 1 and m >= 1");
+        let (k, m) = (k as usize, m as usize);
+        assert!(k + m <= 256, "EC(k, m) needs k + m <= 256");
+        let parity = (0..m)
+            .map(|j| {
+                (0..k)
+                    .map(|i| gf_inv(((k + j) ^ i) as u8))
+                    .collect::<Vec<u8>>()
+            })
+            .collect();
+        ReedSolomon { k, m, parity }
+    }
+
+    /// Data shard count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shard count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Splits `payload` into `k` equal data shards (zero-padded) and
+    /// appends `m` parity shards: the full `k + m` stripe.
+    pub fn encode_payload(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let len = payload.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut s = vec![0u8; len];
+                let start = (i * len).min(payload.len());
+                let end = ((i + 1) * len).min(payload.len());
+                s[..end - start].copy_from_slice(&payload[start..end]);
+                s
+            })
+            .collect();
+        for j in 0..self.m {
+            let mut p = vec![0u8; len];
+            for (i, data) in shards[..self.k].iter().enumerate() {
+                let c = self.parity[j][i];
+                for (pb, &db) in p.iter_mut().zip(data) {
+                    *pb ^= gf_mul(c, db);
+                }
+            }
+            shards.push(p);
+        }
+        shards
+    }
+
+    /// Reassembles the original `payload_len` bytes from the data shards.
+    pub fn join_payload(&self, shards: &[Vec<u8>], payload_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload_len);
+        for s in &shards[..self.k] {
+            out.extend_from_slice(s);
+        }
+        out.truncate(payload_len);
+        out
+    }
+
+    /// Fills every `None` slot from any `k` surviving shards. Returns
+    /// `false` (leaving the input untouched) when fewer than `k` survive.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> bool {
+        let n = self.k + self.m;
+        assert_eq!(shards.len(), n, "need one slot per shard index");
+        let have: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if have.len() < self.k {
+            return false;
+        }
+        if shards.iter_mut().all(|s| s.is_some()) {
+            return true;
+        }
+        let len = shards[have[0]].as_ref().expect("listed as present").len();
+
+        // Rows of the generator matrix for the first k survivors.
+        let chosen = &have[..self.k];
+        let mut mat: Vec<Vec<u8>> = chosen
+            .iter()
+            .map(|&r| {
+                if r < self.k {
+                    let mut row = vec![0u8; self.k];
+                    row[r] = 1;
+                    row
+                } else {
+                    self.parity[r - self.k].clone()
+                }
+            })
+            .collect();
+
+        // Gauss–Jordan inversion in GF(256).
+        let mut inv: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut row = vec![0u8; self.k];
+                row[i] = 1;
+                row
+            })
+            .collect();
+        for col in 0..self.k {
+            let pivot = (col..self.k)
+                .find(|&r| mat[r][col] != 0)
+                .expect("Cauchy submatrices are invertible");
+            mat.swap(col, pivot);
+            inv.swap(col, pivot);
+            let scale = gf_inv(mat[col][col]);
+            for c in 0..self.k {
+                mat[col][c] = gf_mul(mat[col][c], scale);
+                inv[col][c] = gf_mul(inv[col][c], scale);
+            }
+            for r in 0..self.k {
+                if r != col && mat[r][col] != 0 {
+                    let f = mat[r][col];
+                    for c in 0..self.k {
+                        let (m_src, i_src) = (mat[col][c], inv[col][c]);
+                        mat[r][c] ^= gf_mul(f, m_src);
+                        inv[r][c] ^= gf_mul(f, i_src);
+                    }
+                }
+            }
+        }
+
+        // data[i] = sum_c inv[i][c] * shard[chosen[c]].
+        let data: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut out = vec![0u8; len];
+                for (c, &src) in chosen.iter().enumerate() {
+                    let f = inv[i][c];
+                    if f == 0 {
+                        continue;
+                    }
+                    let shard = shards[src].as_ref().expect("chosen survivor");
+                    for (ob, &sb) in out.iter_mut().zip(shard) {
+                        *ob ^= gf_mul(f, sb);
+                    }
+                }
+                out
+            })
+            .collect();
+
+        for (i, slot) in shards.iter_mut().take(self.k).enumerate() {
+            if slot.is_none() {
+                *slot = Some(data[i].clone());
+            }
+        }
+        for j in 0..self.m {
+            if shards[self.k + j].is_none() {
+                let mut p = vec![0u8; len];
+                for (i, d) in data.iter().enumerate() {
+                    let c = self.parity[j][i];
+                    for (pb, &db) in p.iter_mut().zip(d) {
+                        *pb ^= gf_mul(c, db);
+                    }
+                }
+                shards[self.k + j] = Some(p);
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stripe metadata
+// ---------------------------------------------------------------------
+
+/// Where one shard of a stripe lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoc {
+    /// The node holding the shard.
+    pub node: NodeId,
+    /// The tier the shard sits on (the stripe's home tier unless a repair
+    /// spilled it down).
+    pub tier: StorageTier,
+    /// Shard index: `0..k` data, `k..k+m` parity.
+    pub index: u8,
+    /// True while the holding node is down (the shard may come back).
+    pub dead: bool,
+}
+
+/// The EC layout of one block: `k + m` shard placements on distinct nodes.
+///
+/// Shards destroyed for good (device loss) are removed from `shards`;
+/// shards on crashed nodes stay listed with `dead = true` and revive on
+/// recovery. The stripe is *readable* while at least `k` shards are live,
+/// *degraded* when readable but missing a live data shard (a read must
+/// reconstruct), and *lost* once fewer than `k` shards exist at all —
+/// then even recovering every dead node cannot bring the data back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stripe {
+    /// The protected block.
+    pub block: BlockId,
+    /// The file owning the block.
+    pub file: FileId,
+    /// The EC-configured tier the stripe was written to.
+    pub home: StorageTier,
+    /// Data shard count.
+    pub k: u8,
+    /// Parity shard count.
+    pub m: u8,
+    /// Bytes per shard (`ceil(block size / k)`).
+    pub shard_size: ByteSize,
+    /// Current shard placements, ascending by index.
+    pub shards: Vec<ShardLoc>,
+}
+
+impl Stripe {
+    /// Total shard count when healthy.
+    pub fn total(&self) -> usize {
+        self.k as usize + self.m as usize
+    }
+
+    /// Shards that still exist, dead or alive.
+    pub fn present(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards that are live (exist and their node is up).
+    pub fn live(&self) -> usize {
+        self.shards.iter().filter(|s| !s.dead).count()
+    }
+
+    /// The live shard with `index`, if any.
+    pub fn live_shard(&self, index: u8) -> Option<&ShardLoc> {
+        self.shards.iter().find(|s| s.index == index && !s.dead)
+    }
+
+    /// All `k + m` shards live: nothing to repair.
+    pub fn is_fully_redundant(&self) -> bool {
+        self.live() == self.total()
+    }
+
+    /// At least `k` live shards: the block is readable right now.
+    pub fn is_readable(&self) -> bool {
+        self.live() >= self.k as usize
+    }
+
+    /// Readable, but some data shard is not live: a read must fetch `k`
+    /// surviving shards and decode (the degraded-read penalty).
+    pub fn needs_degraded_read(&self) -> bool {
+        self.is_readable() && (0..self.k).any(|i| self.live_shard(i).is_none())
+    }
+
+    /// Fewer than `k` shards exist at all: unrecoverable.
+    pub fn is_lost(&self) -> bool {
+        self.present() < self.k as usize
+    }
+
+    /// Indices in `0..k+m` with no live shard, ascending — what repair
+    /// must rebuild to restore full redundancy.
+    pub fn missing_indices(&self) -> Vec<u8> {
+        (0..self.total() as u8)
+            .filter(|&i| self.live_shard(i).is_none())
+            .collect()
+    }
+
+    /// Nodes currently holding any shard (dead or alive) — rebuilt shards
+    /// must land elsewhere to keep single-node losses within `m`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.shards.iter().map(|s| s.node)
+    }
+}
+
+/// Stripe metadata for every erasure-coded block, keyed by block id.
+///
+/// A `BTreeMap` keeps every scan (fault handling, repair candidate walks)
+/// in ascending block order — the same determinism rule the rest of the
+/// block bookkeeping follows, so the pooled epoch engine stays
+/// byte-identical at any thread count.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StripeManager {
+    stripes: BTreeMap<BlockId, Stripe>,
+    rebuilt: u64,
+}
+
+impl StripeManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stripe protecting `block`, if any.
+    pub fn get(&self, block: BlockId) -> Option<&Stripe> {
+        self.stripes.get(&block)
+    }
+
+    pub(crate) fn get_mut(&mut self, block: BlockId) -> Option<&mut Stripe> {
+        self.stripes.get_mut(&block)
+    }
+
+    pub(crate) fn insert(&mut self, stripe: Stripe) {
+        self.stripes.insert(stripe.block, stripe);
+    }
+
+    pub(crate) fn remove(&mut self, block: BlockId) -> Option<Stripe> {
+        self.stripes.remove(&block)
+    }
+
+    /// All stripes, ascending by block id.
+    pub fn iter(&self) -> impl Iterator<Item = &Stripe> {
+        self.stripes.values()
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// True when no block is striped.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Cumulative count of shard rebuilds completed by repair.
+    pub fn stripes_rebuilt(&self) -> u64 {
+        self.rebuilt
+    }
+
+    pub(crate) fn note_rebuilt(&mut self) {
+        self.rebuilt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        // Deterministic pseudo-random bytes (xorshift), no RNG dependency.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gf256_field_axioms_hold() {
+        // Spot-check multiplicative inverses and distributivity.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a * a^-1 == 1 for a={a}");
+        }
+        for &(a, b, c) in &[(7u8, 13u8, 200u8), (255, 254, 3), (16, 16, 16)] {
+            assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+            assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        }
+    }
+
+    #[test]
+    fn round_trip_without_loss() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = payload(1000);
+        let shards = rs.encode_payload(&data);
+        assert_eq!(shards.len(), 6);
+        assert_eq!(rs.join_payload(&shards, 1000), data);
+    }
+
+    #[test]
+    fn any_k_of_n_reconstructs() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = payload(777);
+        let full = rs.encode_payload(&data);
+        // Every way of losing exactly m = 2 shards must still decode.
+        for lose_a in 0..6 {
+            for lose_b in (lose_a + 1)..6 {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[lose_a] = None;
+                shards[lose_b] = None;
+                assert!(rs.reconstruct(&mut shards), "({lose_a},{lose_b})");
+                let rebuilt: Vec<Vec<u8>> =
+                    shards.into_iter().map(|s| s.expect("filled")).collect();
+                assert_eq!(rebuilt, full, "lost ({lose_a},{lose_b})");
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_m_losses_fail_cleanly() {
+        let rs = ReedSolomon::new(4, 2);
+        let full = rs.encode_payload(&payload(256));
+        let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[5] = None;
+        assert!(!rs.reconstruct(&mut shards), "3 losses exceed m = 2");
+        assert!(shards[0].is_none(), "failed reconstruct leaves input alone");
+    }
+
+    #[test]
+    fn wide_codes_and_single_parity() {
+        for (k, m) in [(2u8, 1u8), (6, 3), (10, 4)] {
+            let rs = ReedSolomon::new(k, m);
+            let data = payload(509);
+            let full = rs.encode_payload(&data);
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            // Lose the first m shards (all data-side where possible).
+            for s in shards.iter_mut().take(m as usize) {
+                *s = None;
+            }
+            assert!(rs.reconstruct(&mut shards));
+            let rebuilt: Vec<Vec<u8>> = shards.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(rs.join_payload(&rebuilt, 509), data, "EC({k},{m})");
+        }
+    }
+
+    #[test]
+    fn shard_size_is_ceiling_division() {
+        assert_eq!(shard_size(ByteSize::mb(128), 4), ByteSize::mb(32));
+        assert_eq!(
+            shard_size(ByteSize::from_bytes(10), 4),
+            ByteSize::from_bytes(3)
+        );
+        assert_eq!(
+            shard_size(ByteSize::from_bytes(1), 4),
+            ByteSize::from_bytes(1)
+        );
+    }
+
+    #[test]
+    fn stripe_health_states() {
+        let mk = |dead: &[u8], gone: &[u8]| Stripe {
+            block: BlockId(0),
+            file: FileId(0),
+            home: StorageTier::Hdd,
+            k: 4,
+            m: 2,
+            shard_size: ByteSize::mb(32),
+            shards: (0..6u8)
+                .filter(|i| !gone.contains(i))
+                .map(|i| ShardLoc {
+                    node: NodeId(i as u32),
+                    tier: StorageTier::Hdd,
+                    index: i,
+                    dead: dead.contains(&i),
+                })
+                .collect(),
+        };
+        let healthy = mk(&[], &[]);
+        assert!(healthy.is_fully_redundant() && healthy.is_readable());
+        assert!(!healthy.needs_degraded_read() && !healthy.is_lost());
+        assert!(healthy.missing_indices().is_empty());
+
+        // Two dead data shards: readable only via reconstruction.
+        let degraded = mk(&[0, 1], &[]);
+        assert!(degraded.is_readable() && degraded.needs_degraded_read());
+        assert_eq!(degraded.missing_indices(), vec![0, 1]);
+        assert!(!degraded.is_lost());
+
+        // A dead parity shard: readable, no decode needed.
+        let parity_down = mk(&[5], &[]);
+        assert!(parity_down.is_readable() && !parity_down.needs_degraded_read());
+
+        // Three shards gone for good: fewer than k remain ⇒ lost.
+        let lost = mk(&[], &[0, 1, 2]);
+        assert!(lost.is_lost() && !lost.is_readable());
+
+        // Three dead (not gone): unreadable now, but not lost — recovery
+        // can restore them.
+        let offline = mk(&[0, 1, 2], &[]);
+        assert!(!offline.is_readable() && !offline.is_lost());
+    }
+}

@@ -204,7 +204,7 @@ impl<'a> ShardView<'a> {
 
     /// This shard's under-replicated files as `(file, deficient blocks)`,
     /// ascending by id — one leg of the degraded-set merge behind
-    /// [`TieredDfs::under_replicated_files`].
+    /// [`TieredDfs::under_redundant_files`].
     pub fn degraded_files(&self) -> impl Iterator<Item = (FileId, u32)> + 'a {
         self.dfs.shard_degraded_files(self.shard)
     }

@@ -26,6 +26,10 @@
 //!   fixed-size worker pool ([`epoch::EpochPool`]) scans shard-local read
 //!   views concurrently and returns per-shard results in shard order, so
 //!   merge-and-commit callers stay byte-identical at any thread count.
+//! * [`ec`] — the erasure-coding layer behind the per-tier
+//!   [`config::RedundancyMode`]: a GF(256) Reed–Solomon codec plus the
+//!   stripe metadata ([`ec::StripeManager`]) tracking data/parity shard
+//!   placements for blocks downgraded into an EC-configured cold tier.
 //! * [`placement::PlacementPolicy`] — the multi-objective placement of
 //!   OctopusFS, reused for choosing transfer destinations (§5.3/§6.3).
 //! * [`replication`] — transfer plans, movement statistics, and the
@@ -40,6 +44,7 @@
 pub mod block;
 pub mod config;
 pub mod dfs;
+pub mod ec;
 pub mod epoch;
 pub mod files;
 pub mod namespace;
@@ -51,8 +56,9 @@ pub mod shard;
 pub mod stats;
 
 pub use block::{BlockInfo, BlockManager, Replica};
-pub use config::DfsConfig;
+pub use config::{DfsConfig, RedundancyMode};
 pub use dfs::{BlockWrite, DowngradeTarget, NodeFailure, TieredDfs, WritePlan};
+pub use ec::{shard_size, ReedSolomon, ShardLoc, Stripe, StripeManager};
 pub use epoch::{EpochPool, ShardEpochPlan, ShardView};
 pub use files::{FileMeta, FileState, FileTable};
 pub use namespace::{Entry, Namespace};

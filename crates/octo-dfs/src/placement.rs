@@ -288,6 +288,32 @@ impl PlacementPolicy {
             false,
         )
     }
+
+    /// Chooses the device for one erasure-coded shard on `tier`.
+    ///
+    /// Shards of a stripe must live on distinct nodes (the EC analogue of
+    /// the replica fault-tolerance constraint), so callers accumulate every
+    /// node already holding — or about to receive — a shard of the stripe
+    /// into `exclude_nodes`. No tier-diversity penalty or locality bonus
+    /// applies: all shards of a stripe belong on the stripe's home tier and
+    /// spread by the data/load-balance objectives alone.
+    pub fn place_shard(
+        &self,
+        nodes: &NodeManager,
+        shard_size: ByteSize,
+        tier: StorageTier,
+        exclude_nodes: &[NodeId],
+    ) -> Option<(NodeId, StorageTier)> {
+        self.best_candidate(
+            nodes,
+            shard_size,
+            &[tier],
+            exclude_nodes,
+            &[0u32; 3],
+            None,
+            false,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,41 @@ pub enum BlockAction {
         /// Replica to delete.
         from: (NodeId, StorageTier),
     },
+    /// Write shard `index` of the block's erasure-coding stripe to `to`,
+    /// reading the block from the replica at `from` (which a companion
+    /// [`BlockAction::Drop`] removes once the stripe is complete). The
+    /// transfer size is one shard, so striping a block into EC(k, m)
+    /// moves `(k + m) / k` of its bytes instead of a full extra copy.
+    EcWrite {
+        /// Replica the encoder reads from.
+        from: (NodeId, StorageTier),
+        /// Destination device of the shard.
+        to: (NodeId, StorageTier),
+        /// Shard index: `0..k` data, `k..k+m` parity.
+        index: u8,
+    },
+    /// Reconstruct the missing shard `index` of a stripe onto `to` from
+    /// the `k` surviving shards (`from` is the reference survivor the flow
+    /// model charges; the fan-in from the other `k - 1` shards runs in
+    /// parallel across their devices).
+    EcRebuild {
+        /// The surviving shard anchoring the reconstruction read.
+        from: (NodeId, StorageTier),
+        /// Destination device of the rebuilt shard.
+        to: (NodeId, StorageTier),
+        /// Shard index being rebuilt.
+        index: u8,
+    },
+    /// De-stripe: decode the whole block from its stripe (anchored at the
+    /// shard `from`) and materialize a full replica at `to`. Completion
+    /// deletes the stripe — upgrades out of an EC tier go back to
+    /// replicated form.
+    Unstripe {
+        /// The shard anchoring the decode read.
+        from: (NodeId, StorageTier),
+        /// Destination of the reconstructed replica.
+        to: (NodeId, StorageTier),
+    },
 }
 
 impl BlockAction {
@@ -68,7 +103,11 @@ impl BlockAction {
     /// The destination, if the action lands data somewhere.
     pub fn destination(&self) -> Option<(NodeId, StorageTier)> {
         match self {
-            BlockAction::Move { to, .. } | BlockAction::Copy { to, .. } => Some(*to),
+            BlockAction::Move { to, .. }
+            | BlockAction::Copy { to, .. }
+            | BlockAction::EcWrite { to, .. }
+            | BlockAction::EcRebuild { to, .. }
+            | BlockAction::Unstripe { to, .. } => Some(*to),
             BlockAction::Drop { .. } => None,
         }
     }
@@ -78,7 +117,10 @@ impl BlockAction {
         match self {
             BlockAction::Move { from, .. }
             | BlockAction::Copy { from, .. }
-            | BlockAction::Drop { from } => *from,
+            | BlockAction::Drop { from }
+            | BlockAction::EcWrite { from, .. }
+            | BlockAction::EcRebuild { from, .. }
+            | BlockAction::Unstripe { from, .. } => *from,
         }
     }
 }
@@ -130,6 +172,9 @@ pub struct MovementStats {
     pub dropped_from: PerTier<ByteSize>,
     /// Bytes landed on each tier by repair re-replication.
     pub repaired_to: PerTier<ByteSize>,
+    /// Bytes of erasure-coded shards rebuilt onto each tier by stripe
+    /// reconstruction repair (disjoint from `repaired_to`).
+    pub reconstructed_to: PerTier<ByteSize>,
     /// Completed transfer count.
     pub transfers_completed: u64,
     /// Cancelled transfer count.
@@ -143,6 +188,11 @@ impl MovementStats {
     /// Total bytes re-replicated by repair transfers across all tiers.
     pub fn bytes_re_replicated(&self) -> ByteSize {
         self.repaired_to.iter().map(|(_, v)| *v).sum()
+    }
+
+    /// Total bytes of EC shards rebuilt by reconstruction repair.
+    pub fn bytes_reconstructed(&self) -> ByteSize {
+        self.reconstructed_to.iter().map(|(_, v)| *v).sum()
     }
 }
 
@@ -186,7 +236,10 @@ impl TransferTable {
                     *self.pending_outgoing.get_mut(from.1) += bt.size;
                     *self.pending_incoming.get_mut(to.1) += bt.size;
                 }
-                BlockAction::Copy { to, .. } => {
+                BlockAction::Copy { to, .. }
+                | BlockAction::EcWrite { to, .. }
+                | BlockAction::EcRebuild { to, .. }
+                | BlockAction::Unstripe { to, .. } => {
                     *self.pending_incoming.get_mut(to.1) += bt.size;
                 }
                 BlockAction::Drop { from } => {
@@ -216,7 +269,10 @@ impl TransferTable {
                     let inc = self.pending_incoming.get_mut(to.1);
                     *inc = inc.saturating_sub(bt.size);
                 }
-                BlockAction::Copy { to, .. } => {
+                BlockAction::Copy { to, .. }
+                | BlockAction::EcWrite { to, .. }
+                | BlockAction::EcRebuild { to, .. }
+                | BlockAction::Unstripe { to, .. } => {
                     let inc = self.pending_incoming.get_mut(to.1);
                     *inc = inc.saturating_sub(bt.size);
                 }
@@ -253,13 +309,19 @@ impl TransferTable {
         }
         for b in &t.blocks {
             match b.action {
-                BlockAction::Move { to, .. } | BlockAction::Copy { to, .. } => {
+                BlockAction::Move { to, .. }
+                | BlockAction::Copy { to, .. }
+                | BlockAction::EcWrite { to, .. }
+                | BlockAction::Unstripe { to, .. } => {
                     let bucket = match t.kind {
                         TransferKind::Upgrade => self.stats.upgraded_to.get_mut(to.1),
                         TransferKind::Downgrade => self.stats.downgraded_to.get_mut(to.1),
                         TransferKind::Repair => self.stats.repaired_to.get_mut(to.1),
                     };
                     *bucket += b.size;
+                }
+                BlockAction::EcRebuild { to, .. } => {
+                    *self.stats.reconstructed_to.get_mut(to.1) += b.size;
                 }
                 BlockAction::Drop { from } => {
                     *self.stats.dropped_from.get_mut(from.1) += b.size;
@@ -326,8 +388,12 @@ impl TransferTable {
 }
 
 /// The self-healing half of the Replication Monitor: schedules
-/// re-replication of under-replicated files, bounded by a per-epoch byte
-/// budget so repair traffic cannot starve the tiering policies.
+/// re-replication of under-replicated files *and* reconstruction of
+/// degraded erasure-coded stripes, bounded by one shared per-epoch byte
+/// budget so repair traffic cannot starve the tiering policies. The two
+/// repair flavors interleave deterministically: candidates come from the
+/// same degraded set in ascending file id, and each file's plan is whatever
+/// its blocks need (replica copies, shard rebuilds, or both).
 ///
 /// Each epoch walks the DFS's incrementally-maintained degraded set in
 /// ascending file id (deterministic) and plans one repair transfer per
@@ -360,7 +426,7 @@ impl RepairPlanner {
     /// flight, no live source, no placement) are skipped and retried on a
     /// later epoch.
     pub fn plan_epoch(&self, dfs: &mut crate::TieredDfs) -> Vec<TransferId> {
-        let candidates: Vec<FileId> = dfs.under_replicated_files().map(|(f, _, _)| f).collect();
+        let candidates: Vec<FileId> = dfs.under_redundant_files().map(|(f, _, _)| f).collect();
         self.plan_from_candidates(dfs, candidates)
     }
 
@@ -380,7 +446,7 @@ impl RepairPlanner {
         }
         let shards = pool.scan_shards(dfs, |view| {
             view.dfs()
-                .shard_under_replicated_files(view.shard())
+                .shard_under_redundant_files(view.shard())
                 .collect::<Vec<FileId>>()
         });
         let candidates: Vec<FileId> =

@@ -4,6 +4,8 @@
 //! * [`settings`] — [`ExpSettings`]: the shared quick/full fidelity knob
 //!   every driver derives its workload, DFS, and learner configs from.
 //! * [`dfsio`] — the DFSIO write/read throughput study (Figure 2).
+//! * [`digest`] — the canonical run transcript and FNV-1a digest behind
+//!   the golden fixtures and thread-sweep determinism checks.
 //! * [`workload_stats`] — Table 3 and the Figure 5 CDFs of the generated
 //!   workloads.
 //! * [`endtoend`] — the §7.2–§7.4 policy comparisons (Figures 6–12,
@@ -25,6 +27,7 @@
 //! CI fast.
 
 pub mod dfsio;
+pub mod digest;
 pub mod endtoend;
 pub mod matrix;
 pub mod model_eval;
@@ -33,6 +36,7 @@ pub mod scale;
 pub mod settings;
 pub mod workload_stats;
 
+pub use digest::{canonical_transcript, report_digest};
 pub use matrix::{run_matrix, FaultPlan, MatrixCell, MatrixReport, MatrixSpec, MatrixWorkload};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use settings::{ExpSettings, Mode};

@@ -193,6 +193,12 @@ impl MatrixReport {
                                         None => cell.push_str(" · degraded"),
                                     }
                                 }
+                                if sm.bytes_reconstructed > 0 {
+                                    cell.push_str(&format!(
+                                        " · recon={}",
+                                        human_bytes(sm.bytes_reconstructed)
+                                    ));
+                                }
                                 cell
                             }
                             None => "—".to_string(),

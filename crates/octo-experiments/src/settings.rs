@@ -83,6 +83,28 @@ impl ExpSettings {
         }
     }
 
+    /// The simulator config for a scenario whose HDD tier is erasure-coded
+    /// `EC(k, m)` instead of replicated. A stripe needs `k + m` distinct
+    /// nodes, so quick mode's 4-worker cluster grows to 8 workers with
+    /// per-node tier capacities halved — total cluster capacity (and with
+    /// it the tiering pressure that drives downgrades into the cold tier)
+    /// stays that of the quick baseline. EC quick runs are still a separate
+    /// pinned baseline from the replicated ones, never compared
+    /// digest-for-digest.
+    pub fn sim_erasure(&self, scenario: Scenario, k: u8, m: u8) -> SimConfig {
+        let mut cfg = self.sim(scenario);
+        let need = (k as u32 + m as u32).max(8);
+        if cfg.dfs.workers < need {
+            let grow = need / cfg.dfs.workers;
+            cfg.dfs.workers = need;
+            cfg.dfs.tier_capacity = PerTier::from_fn(|t| {
+                ByteSize::from_bytes(cfg.dfs.tier_capacity.get(t).as_bytes() / grow as u64)
+            });
+        }
+        *cfg.dfs.redundancy.get_mut(StorageTier::Hdd) = octo_dfs::RedundancyMode::Erasure { k, m };
+        cfg
+    }
+
     /// The downgrade model's class window *for offline model evaluation*.
     ///
     /// The policy itself runs the paper's 6 h window, but evaluating a 6 h

@@ -1,97 +1,6 @@
-//! Shared helpers for the end-to-end determinism tests: the FNV-1a digest
-//! and the canonical integer-only run transcript the golden digests are
-//! computed over.
+//! Shared helpers for the end-to-end determinism tests. The transcript and
+//! digest implementation lives in the library (`octo_experiments::digest`)
+//! so the `repair_throughput` bench can assert the same digests; tests
+//! reach it through this re-export.
 
-use octo_cluster::{FaultSummary, RunReport};
-use std::fmt::Write as _;
-
-/// FNV-1a over a byte string.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// A canonical integer-only transcript of a run: per-job timings and sizes,
-/// per-task read tiers, movement statistics. No floats, so the digest is
-/// stable across formatting and arithmetic-reassociation changes.
-pub fn canonical_transcript(report: &RunReport) -> String {
-    let mut s = String::new();
-    writeln!(s, "scenario={} jobs={}", report.scenario, report.jobs.len()).unwrap();
-    for j in &report.jobs {
-        write!(
-            s,
-            "job bin={:?} submit={} finish={} in={} out={} tiers=",
-            j.bin,
-            j.submit.as_millis(),
-            j.finish.as_millis(),
-            j.input_bytes.as_bytes(),
-            j.output_bytes.as_bytes()
-        )
-        .unwrap();
-        for t in &j.tasks {
-            write!(s, "{}{}", t.read_tier.label(), u8::from(t.remote)).unwrap();
-        }
-        if j.failed {
-            // Only possible under fault injection; the no-fault transcript
-            // (and its pinned digest) is unchanged.
-            write!(s, " failed").unwrap();
-        }
-        writeln!(s).unwrap();
-    }
-    let m = &report.movement;
-    for (tier, v) in m.upgraded_to.iter() {
-        writeln!(s, "up {tier}={}", v.as_bytes()).unwrap();
-    }
-    for (tier, v) in m.downgraded_to.iter() {
-        writeln!(s, "down {tier}={}", v.as_bytes()).unwrap();
-    }
-    for (tier, v) in m.dropped_from.iter() {
-        writeln!(s, "drop {tier}={}", v.as_bytes()).unwrap();
-    }
-    writeln!(
-        s,
-        "xfers done={} cancelled={} end={}",
-        m.transfers_completed,
-        m.transfers_cancelled,
-        report.sim_end.as_millis()
-    )
-    .unwrap();
-    for (i, b) in report.bytes_read_by_tier.iter().enumerate() {
-        writeln!(s, "read[{i}]={}", b.as_bytes()).unwrap();
-    }
-    if report.faults != FaultSummary::default() {
-        // Fault section only when faults happened, so the no-fault digest
-        // above is bit-identical to the pre-fault-injection baseline.
-        let f = &report.faults;
-        writeln!(
-            s,
-            "faults crash={} recover={} diskloss={} failed_reads={} rerun={} \
-             failed_jobs={} lost={} repaired={} repairs={} last_fault={:?} healed={:?}",
-            f.crashes,
-            f.recoveries,
-            f.disk_losses,
-            f.failed_reads,
-            f.tasks_rerun,
-            f.failed_jobs,
-            f.lost_files,
-            f.bytes_re_replicated.as_bytes(),
-            f.repairs_completed,
-            f.last_fault_at.map(|t| t.as_millis()),
-            f.full_replication_at.map(|t| t.as_millis()),
-        )
-        .unwrap();
-        for (tier, v) in report.movement.repaired_to.iter() {
-            writeln!(s, "repair {tier}={}", v.as_bytes()).unwrap();
-        }
-    }
-    s
-}
-
-/// Digest of a run report (FNV-1a over the canonical transcript).
-pub fn report_digest(report: &RunReport) -> u64 {
-    fnv1a(canonical_transcript(report).as_bytes())
-}
+pub use octo_experiments::digest::report_digest;

@@ -65,6 +65,60 @@ fn lru_osa_fault_run_matches_golden_fixture() {
     check("lru_osa_fault", report_digest(&report));
 }
 
+/// The pinned EC(4,2) fault run: 8 workers (a stripe needs k+m = 6
+/// distinct nodes) with per-node capacities halved, and downgrade
+/// thresholds low enough that the LRU policy actively pushes cold files
+/// into the erasure-coded HDD tier. Its own baseline, not comparable to
+/// the 4-worker `lru_osa_fault` digest.
+fn ec42_fault_config(settings: &ExpSettings) -> octo_cluster::SimConfig {
+    let mut cfg = settings.sim_erasure(Scenario::policy_pair("lru", "osa"), 4, 2);
+    cfg.tiering.start_threshold = 0.30;
+    cfg.tiering.stop_threshold = 0.25;
+    cfg.faults = FaultSchedule::generate(&FaultConfig::default(), cfg.dfs.workers, 3);
+    cfg
+}
+
+/// The run must show actual erasure-coding activity — stripes rebuilt by
+/// reconstruction repair — or the digest would pin a vacuous
+/// configuration.
+#[test]
+fn lru_osa_ec42_fault_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(ec42_fault_config(&settings), &trace);
+    assert!(
+        report.faults.stripes_rebuilt > 0,
+        "pinned EC run never reconstructed a shard"
+    );
+    check("lru_osa_ec42_fault", report_digest(&report));
+}
+
+/// Survivability: on identical hardware, under the identical pinned fault
+/// schedule and tiering pressure, the erasure-coded cold tier must not
+/// lose files that 3-way replication keeps. (The schedule caps concurrent
+/// downtime at 2 nodes — exactly EC(4,2)'s tolerance — so cold data can
+/// only be lost to accumulated disk losses outpacing repair, which both
+/// modes face.)
+#[test]
+fn ec42_loses_no_more_files_than_replication3() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+
+    let ec = ec42_fault_config(&settings);
+    let mut rep = ec.clone();
+    *rep.dfs.redundancy.get_mut(octo_common::StorageTier::Hdd) =
+        octo_dfs::RedundancyMode::Replicated(3);
+
+    let ec_report = run_trace(ec, &trace);
+    let rep_report = run_trace(rep, &trace);
+    assert!(
+        ec_report.faults.lost_files <= rep_report.faults.lost_files,
+        "EC(4,2) lost {} files where replication-3 lost {}",
+        ec_report.faults.lost_files,
+        rep_report.faults.lost_files
+    );
+}
+
 #[test]
 fn xgb_xgb_quick_run_matches_golden_fixture() {
     let settings = ExpSettings::quick(3);

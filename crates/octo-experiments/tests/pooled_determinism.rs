@@ -74,6 +74,23 @@ fn lru_osa_fault_digest_is_thread_count_invariant() {
     });
 }
 
+/// Erasure-coded repair epochs interleave stripe rebuilds with
+/// re-replication; the per-shard fan-out must keep that interleaving —
+/// and therefore the whole transcript — identical at any width.
+#[test]
+fn lru_osa_ec42_fault_digest_is_thread_count_invariant() {
+    check_at_every_width("lru_osa_ec42_fault", |threads| {
+        let settings = ExpSettings::quick(3);
+        let trace = settings.trace(TraceKind::Facebook);
+        let mut cfg = settings.sim_erasure(Scenario::policy_pair("lru", "osa"), 4, 2);
+        cfg.tiering.start_threshold = 0.30;
+        cfg.tiering.stop_threshold = 0.25;
+        cfg.faults = FaultSchedule::generate(&FaultConfig::default(), cfg.dfs.workers, 3);
+        cfg.epoch_threads = threads;
+        report_digest(&run_trace(cfg, &trace))
+    });
+}
+
 #[test]
 fn xgb_xgb_quick_digest_is_thread_count_invariant() {
     check_at_every_width("xgb_xgb_quick", |threads| {

@@ -36,8 +36,10 @@ pub struct RunSummary {
     pub bytes_downgraded: u64,
     /// Bytes written by repair re-replication.
     pub bytes_repaired: u64,
+    /// Bytes of erasure-coded shards rebuilt by reconstruction repair.
+    pub bytes_reconstructed: u64,
     /// Total policy + repair movement (`bytes_upgraded + bytes_downgraded
-    /// + bytes_repaired`) — the "bytes moved" column.
+    /// + bytes_repaired + bytes_reconstructed`) — the "bytes moved" column.
     pub bytes_moved: u64,
     /// Time from the last fault to full re-replication, seconds. `None`
     /// while the run saw no faults or ended degraded.
@@ -79,6 +81,7 @@ impl RunSummary {
             .map(|&t| report.movement.downgraded_to.get(t).as_bytes())
             .sum();
         let repaired = report.movement.bytes_re_replicated().as_bytes();
+        let reconstructed = report.movement.bytes_reconstructed().as_bytes();
         RunSummary {
             scenario: report.scenario.clone(),
             workload: report.workload.clone(),
@@ -96,7 +99,8 @@ impl RunSummary {
             bytes_upgraded: up,
             bytes_downgraded: down,
             bytes_repaired: repaired,
-            bytes_moved: up + down + repaired,
+            bytes_reconstructed: reconstructed,
+            bytes_moved: up + down + repaired + reconstructed,
             recovery_secs: report
                 .faults
                 .time_to_full_replication()

@@ -1,0 +1,105 @@
+//! Property tests for the seed-driven fault-schedule generator.
+//!
+//! `FaultSchedule::generate` is the root of every fault-injected run, so
+//! its guarantees are load-bearing for both the golden digests and the
+//! repair oracles: the unit tests in `faults.rs` pin a few hand-picked
+//! `(config, workers, seed)` triples, these properties check the whole
+//! space. For arbitrary generator inputs:
+//!
+//! * the event list is time-sorted, with same-instant ties ordered
+//!   Crash → Recover → DiskLoss (a wiped device belongs to an up node);
+//! * the number of concurrently-down nodes never exceeds
+//!   `floor(workers × max_down_fraction)`, floored at one node;
+//! * per-node crash/recover alternation holds, every crash has a matching
+//!   recovery, and no crash fires past the horizon;
+//! * the same triple regenerates the identical schedule, byte for byte —
+//!   and the schedule round-trips through `FaultSchedule::from_events`
+//!   (which re-validates alternation) unchanged.
+
+use octo_common::SimDuration;
+use octo_workload::{FaultConfig, FaultKind, FaultSchedule};
+use proptest::prelude::*;
+
+fn kind_rank(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::Crash => 0,
+        FaultKind::Recover => 1,
+        FaultKind::DiskLoss(_) => 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn generated_schedules_uphold_the_generator_contract(
+        workers in 1u32..24,
+        seed in 0u64..1_000_000,
+        mtbf_mins in 2u64..45,
+        mttr_mins in 1u64..90,
+        disk_loss_chance in 0.0f64..1.0,
+        horizon_mins in 30u64..240,
+        max_down_fraction in 0.05f64..0.95,
+    ) {
+        let cfg = FaultConfig {
+            mtbf: SimDuration::from_mins(mtbf_mins),
+            mttr: SimDuration::from_mins(mttr_mins),
+            disk_loss_chance,
+            horizon: SimDuration::from_mins(horizon_mins),
+            max_down_fraction,
+        };
+        let sched = FaultSchedule::generate(&cfg, workers, seed);
+
+        // Same triple, same schedule — byte for byte.
+        prop_assert_eq!(
+            &sched,
+            &FaultSchedule::generate(&cfg, workers, seed),
+            "generator is not a pure function of (config, workers, seed)"
+        );
+
+        // Time-sorted, with the documented same-instant tie order.
+        for w in sched.events().windows(2) {
+            prop_assert!(
+                (w[0].at, kind_rank(w[0].kind)) <= (w[1].at, kind_rank(w[1].kind)),
+                "events out of order: {:?} before {:?}", w[0], w[1]
+            );
+        }
+
+        // Concurrency cap, alternation, and the crash horizon.
+        let max_down = (((workers as f64) * max_down_fraction).floor() as usize).max(1);
+        let mut down = vec![false; workers as usize];
+        let mut down_count = 0usize;
+        for e in sched.events() {
+            prop_assert!(e.node.index() < workers as usize, "event for unknown node");
+            match e.kind {
+                FaultKind::Crash => {
+                    prop_assert!(!down[e.node.index()], "{} crashes while down", e.node);
+                    prop_assert!(
+                        e.at.duration_since(octo_common::SimTime::ZERO) <= cfg.horizon,
+                        "crash scheduled past the horizon"
+                    );
+                    down[e.node.index()] = true;
+                    down_count += 1;
+                    prop_assert!(
+                        down_count <= max_down,
+                        "{down_count} nodes down at once, cap is {max_down}"
+                    );
+                }
+                FaultKind::Recover => {
+                    prop_assert!(down[e.node.index()], "{} recovers while up", e.node);
+                    down[e.node.index()] = false;
+                    down_count -= 1;
+                }
+                FaultKind::DiskLoss(_) => {
+                    prop_assert!(!down[e.node.index()], "{} loses a disk while down", e.node);
+                }
+            }
+        }
+        prop_assert_eq!(down_count, 0, "every crash must get a recovery");
+
+        // The generated list passes explicit-schedule validation and
+        // survives the round-trip untouched (from_events re-sorts by time
+        // only, so tie order must already be canonical).
+        let roundtrip = FaultSchedule::from_events(sched.events().to_vec());
+        prop_assert_eq!(&sched, &roundtrip);
+    }
+}
