@@ -1,0 +1,190 @@
+//! Block-cache hit-ratio probe: the trace-driven quick workloads run
+//! twice on identical hardware — cache off vs the sharded L1/L2 block
+//! cache with TinyLFU admission — recording per-level byte hit ratios,
+//! task read-latency mean/p99, and eviction counts to `BENCH_cache.json`.
+//!
+//! Quick mode (CI: `OCTO_BENCH_MODE=quick` or `--quick`) uses the same
+//! configuration the golden `lru_osa_cache_quick` digest pins (512 MB L1,
+//! 2 GB L2, 60 % L2 compression charge); full mode runs the full-fidelity
+//! settings. The probe asserts the cache is actually pulling its weight:
+//! a non-zero block hit ratio on every workload, and a strictly lower
+//! mean task read latency than the cache-off twin on at least one.
+//!
+//! ```text
+//! OCTO_BENCH_MODE=quick cargo bench -p bench --bench cache_bhr
+//! ```
+
+use bench::banner;
+use octo_cluster::{run_trace, RunReport, Scenario, SimConfig};
+use octo_experiments::ExpSettings;
+use octo_workload::TraceKind;
+
+fn quick_mode() -> bool {
+    std::env::var("OCTO_BENCH_MODE").as_deref() == Ok("quick")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Mean and p99 of the per-task input-read latencies, in seconds. Cache
+/// hits land here as the configured L1/L2 service times, so the cache's
+/// effect is visible end-to-end rather than only in its own counters.
+fn read_latency(report: &RunReport) -> (f64, f64) {
+    let mut secs: Vec<f64> = report
+        .jobs
+        .iter()
+        .flat_map(|j| j.tasks.iter())
+        .map(|t| t.read_secs)
+        .collect();
+    if secs.is_empty() {
+        return (0.0, 0.0);
+    }
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("read_secs is never NaN"));
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let p99_idx = ((secs.len() as f64 * 0.99).ceil() as usize).clamp(1, secs.len()) - 1;
+    (mean, secs[p99_idx])
+}
+
+struct Probe {
+    trace: &'static str,
+    cached: bool,
+    wall_secs: f64,
+    mean_read: f64,
+    p99_read: f64,
+    report: RunReport,
+}
+
+impl Probe {
+    fn run(
+        trace_name: &'static str,
+        cached: bool,
+        cfg: SimConfig,
+        trace: &octo_workload::Trace,
+    ) -> Self {
+        let start = std::time::Instant::now();
+        let report = run_trace(cfg, trace);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let (mean_read, p99_read) = read_latency(&report);
+        Probe {
+            trace: trace_name,
+            cached,
+            wall_secs,
+            mean_read,
+            p99_read,
+            report,
+        }
+    }
+
+    fn json(&self) -> String {
+        let c = &self.report.cache;
+        format!(
+            "    {{\"trace\": \"{}\", \"cache\": {}, \"wall_secs\": {:.4}, \
+             \"mean_read_secs\": {:.6}, \"p99_read_secs\": {:.6}, \
+             \"block_hit_ratio\": {:.6}, \"byte_hit_ratio\": {:.6}, \
+             \"l1_byte_hit_ratio\": {:.6}, \"l2_byte_hit_ratio\": {:.6}, \
+             \"l1_hits\": {}, \"l2_hits\": {}, \"misses\": {}, \
+             \"l1_evictions\": {}, \"l2_evictions\": {}, \
+             \"admission_rejects\": {}}}",
+            self.trace,
+            self.cached,
+            self.wall_secs,
+            self.mean_read,
+            self.p99_read,
+            c.block_hit_ratio(),
+            c.byte_hit_ratio(),
+            c.l1_byte_hit_ratio(),
+            c.l2_byte_hit_ratio(),
+            c.l1_hits,
+            c.l2_hits,
+            c.misses,
+            c.l1_evictions,
+            c.l2_evictions,
+            c.admission_rejects,
+        )
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    banner(
+        "Block-cache byte hit ratio: cache-off vs sharded L1/L2 + TinyLFU",
+        "motivation: ROADMAP — repeated task reads of hot input blocks \
+         should short-circuit tier scheduling at memory/SSD service times \
+         without perturbing any cache-off transcript",
+    );
+    let settings = if quick {
+        ExpSettings::quick(3)
+    } else {
+        ExpSettings::full(3)
+    };
+    let scenario = || Scenario::policy_pair("lru", "osa");
+
+    let workloads = [(TraceKind::Facebook, "FB"), (TraceKind::Cmu, "CMU")];
+    let mut probes: Vec<Probe> = Vec::new();
+    for (kind, name) in workloads {
+        let trace = settings.trace(kind);
+        probes.push(Probe::run(name, false, settings.sim(scenario()), &trace));
+        probes.push(Probe::run(
+            name,
+            true,
+            settings.sim_cached(scenario()),
+            &trace,
+        ));
+    }
+
+    for p in &probes {
+        let c = &p.report.cache;
+        println!(
+            "{:>4} cache={:<5}: {:.2}s wall — read mean {:.4}s p99 {:.4}s, \
+             BHR {:.1}% (L1 {} / L2 {} hits, {} misses, {} L2 evictions, \
+             {} rejects)",
+            p.trace,
+            p.cached,
+            p.wall_secs,
+            p.mean_read,
+            p.p99_read,
+            100.0 * c.block_hit_ratio(),
+            c.l1_hits,
+            c.l2_hits,
+            c.misses,
+            c.l2_evictions,
+            c.admission_rejects,
+        );
+    }
+
+    // Gate 1: every cache-on run must actually hit — a zero BHR means the
+    // probe is measuring an idle bystander, not a cache.
+    for p in probes.iter().filter(|p| p.cached) {
+        assert!(
+            p.report.cache.block_hit_ratio() > 0.0,
+            "{}: cache-enabled run never hit the block cache",
+            p.trace
+        );
+    }
+    // Gate 2: on at least one workload the cache must lower the mean task
+    // read latency end-to-end, not just score hits in its own counters.
+    let faster_somewhere = workloads.iter().any(|(_, name)| {
+        let off = probes.iter().find(|p| p.trace == *name && !p.cached);
+        let on = probes.iter().find(|p| p.trace == *name && p.cached);
+        matches!((off, on), (Some(off), Some(on)) if on.mean_read < off.mean_read)
+    });
+    assert!(
+        faster_somewhere,
+        "block cache lowered mean read latency on no workload"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"cache_bhr\",\n  \"mode\": \"{}\",\n  \
+         \"scenario\": \"lru/osa\",\n",
+        if quick { "quick" } else { "full" },
+    ));
+    json.push_str("  \"runs\": [\n");
+    let rows: Vec<String> = probes.iter().map(Probe::json).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let out = std::env::var("OCTO_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_cache.json");
+    println!("\nwrote {out}");
+}

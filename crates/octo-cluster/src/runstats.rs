@@ -1,7 +1,7 @@
 //! Raw per-run results the metrics crate aggregates into paper tables.
 
 use octo_common::{ByteSize, SimDuration, SimTime, StorageTier};
-use octo_dfs::MovementStats;
+use octo_dfs::{CacheStats, MovementStats};
 use octo_workload::SizeBin;
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +137,8 @@ pub struct RunReport {
     pub bytes_read_by_tier: [ByteSize; 3],
     /// Availability/repair statistics (all-zero without a fault schedule).
     pub faults: FaultSummary,
+    /// Block-cache counters (all-zero when the cache is disabled).
+    pub cache: CacheStats,
 }
 
 impl RunReport {

@@ -41,7 +41,10 @@ use crate::runstats::{FaultSummary, JobResult, RunReport, TaskStat};
 use crate::scenario::Scenario;
 use octo_access::LearnerConfig;
 use octo_common::{ByteSize, FileId, FlowId, IdGen, NodeId, SimDuration, SimTime, StorageTier};
-use octo_dfs::{DfsConfig, EpochPool, RepairPlanner, TieredDfs, TransferId};
+use octo_dfs::{
+    BlockCache, BlockKey, CacheConfig, CacheLevel, DfsConfig, EpochPool, RepairPlanner, TieredDfs,
+    TransferId,
+};
 use octo_policies::{TieringConfig, TieringEngine};
 use octo_simkit::{EventQueue, FlowModel};
 use octo_workload::{CompileConfig, EventTrace, FaultKind, FaultSchedule, Trace, TraceError};
@@ -85,6 +88,13 @@ pub struct SimConfig {
     /// any value produces byte-identical simulations — the parallel engine
     /// merges per-shard results in shard order.
     pub epoch_threads: usize,
+    /// Block-cache configuration. Disabled by default: a run with
+    /// `CacheConfig::default()` is bit-identical to one built before the
+    /// cache existed. When enabled, task reads consult the sharded L1/L2
+    /// cache first — a hit short-circuits flow scheduling entirely and is
+    /// served at the level's fixed service time; a miss falls through to
+    /// the tiered (or EC-degraded) read and fills the cache on completion.
+    pub cache: CacheConfig,
 }
 
 impl Default for SimConfig {
@@ -104,6 +114,7 @@ impl Default for SimConfig {
             repair_bandwidth: ByteSize::gb(2),
             ec_degraded_read_penalty: 1.5,
             epoch_threads: 1,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -153,6 +164,9 @@ enum FlowPurpose {
 struct TaskRt {
     block: octo_common::BlockId,
     size: ByteSize,
+    /// Positional cache key of the block (stable across replica movement,
+    /// striping, and repair — unlike any physical location).
+    key: BlockKey,
 }
 
 /// `(bytes, source device, destination device)` of one in-flight block move.
@@ -218,6 +232,10 @@ pub struct ClusterSim<'t> {
     fstats: FaultSummary,
     /// Worker pool for the per-shard epoch fan-out ([`SimConfig::epoch_threads`]).
     pool: EpochPool,
+    /// The sharded L1/L2 block cache, present only when
+    /// [`SimConfig::cache`] is enabled. Touched exclusively from the serial
+    /// event loop, so determinism at any `epoch_threads` width is free.
+    cache: Option<BlockCache>,
 }
 
 impl<'t> ClusterSim<'t> {
@@ -265,6 +283,10 @@ impl<'t> ClusterSim<'t> {
             repair: RepairPlanner::new(cfg.repair_bandwidth),
             fstats: FaultSummary::default(),
             pool: EpochPool::new(cfg.epoch_threads),
+            cache: cfg
+                .cache
+                .enabled
+                .then(|| BlockCache::new(cfg.cache.clone())),
             cfg,
             trace,
             dfs,
@@ -346,6 +368,7 @@ impl<'t> ClusterSim<'t> {
             sim_end: self.queue.now(),
             bytes_read_by_tier: self.bytes_read_by_tier,
             faults: self.fstats,
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
         }
     }
 
@@ -424,9 +447,11 @@ impl<'t> ClusterSim<'t> {
             .expect("live input")
             .blocks
             .iter()
-            .map(|&b| TaskRt {
+            .enumerate()
+            .map(|(i, &b)| TaskRt {
                 block: b,
                 size: self.dfs.block_info(b).size,
+                key: BlockKey::new(file, i as u32),
             })
             .collect();
         let job_idx = self.jobs.len();
@@ -491,6 +516,18 @@ impl<'t> ClusterSim<'t> {
         }
         let block = self.jobs[job].tasks[task].block;
         let size = self.jobs[job].tasks[task].size;
+        // The block cache sits in front of replica selection entirely: a
+        // hit is served at the level's service time with no flow, no device
+        // I/O, and no dependence on replica health — cached payloads keep
+        // serving even while every DFS copy is dead (the cache is *not* a
+        // replica, though: repair and loss accounting never count it).
+        if let Some(cache) = self.cache.as_mut() {
+            let key = self.jobs[job].tasks[task].key;
+            if let Some(level) = cache.lookup(key, size) {
+                self.finish_cached_read(job, task, node, level, size, now);
+                return;
+            }
+        }
         let info = self.dfs.block_info(block);
         // Best reachable live replica: local first, then fastest tier.
         let src = info
@@ -507,9 +544,7 @@ impl<'t> ClusterSim<'t> {
             if let Some((src, degraded)) = self.stripe_read_source(block, node) {
                 let flow_bytes = if degraded {
                     self.fstats.reads_degraded_ec += 1;
-                    ByteSize::from_bytes(
-                        (size.as_bytes() as f64 * self.cfg.ec_degraded_read_penalty) as u64,
-                    )
+                    amplified_read_bytes(size, self.cfg.ec_degraded_read_penalty)
                 } else {
                     size
                 };
@@ -562,6 +597,49 @@ impl<'t> ClusterSim<'t> {
         );
     }
 
+    /// Completes a task read served by the block cache: no flow, no device
+    /// I/O — the read costs the level's fixed service time, then the task
+    /// computes as usual. L1 hits report as memory-tier reads, L2 hits as
+    /// SSD-tier reads, so hit-ratio metrics see the cache's effect.
+    fn finish_cached_read(
+        &mut self,
+        job: usize,
+        task: usize,
+        node: NodeId,
+        level: CacheLevel,
+        size: ByteSize,
+        now: SimTime,
+    ) {
+        let (tier, had_mem) = match level {
+            CacheLevel::L1 => (StorageTier::Memory, true),
+            CacheLevel::L2 => (StorageTier::Ssd, false),
+        };
+        let svc = self.cfg.cache.service_time(level, size);
+        let cpu = self.cfg.task_overhead
+            + SimDuration::from_millis((self.cfg.cpu_ms_per_mb * size.as_mb_f64()) as u64);
+        self.bytes_read_by_tier[tier.index()] += size;
+        self.jobs[job].stats.push(TaskStat {
+            read_tier: tier,
+            remote: false,
+            bytes: size,
+            had_memory_replica: had_mem,
+            read_secs: svc.as_secs_f64(),
+            cpu_secs: cpu.as_secs_f64(),
+        });
+        // The epoch stamp keeps cache-served tasks crash-safe exactly like
+        // flow-served ones: if `node` dies before this fires, the stale
+        // epoch re-queues the task elsewhere.
+        self.queue.schedule(
+            now + svc + cpu,
+            Event::CpuDone {
+                job,
+                task,
+                node,
+                epoch: self.node_epoch[node.index()],
+            },
+        );
+    }
+
     fn handle_flow_tick(&mut self, version: u64, now: SimTime) {
         if version != self.flows.version() {
             return; // stale completion prediction
@@ -606,6 +684,12 @@ impl<'t> ClusterSim<'t> {
             return;
         }
         let size = self.jobs[job].tasks[task].size;
+        // Miss fill: the block just streamed past the reader, so cache it.
+        // Degraded EC reads fill too — that is where the cache pays most,
+        // since every subsequent hit skips the decode amplification.
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(self.jobs[job].tasks[task].key, size);
+        }
         let read_secs = now.duration_since(start).as_secs_f64();
         let cpu = self.cfg.task_overhead
             + SimDuration::from_millis((self.cfg.cpu_ms_per_mb * size.as_mb_f64()) as u64);
@@ -764,6 +848,9 @@ impl<'t> ClusterSim<'t> {
         match self.dfs.delete_file(file) {
             Ok(_) => {
                 self.engine.notify_deleted(file, now);
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.invalidate_file(file);
+                }
             }
             Err(e) if e.kind() == "invalid_state" => {
                 // A transfer is in flight for it; try again shortly.
@@ -794,6 +881,9 @@ impl<'t> ClusterSim<'t> {
         match self.dfs.delete_file(file) {
             Ok(_) => {
                 self.engine.notify_deleted(file, now);
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.invalidate_file(file);
+                }
                 self.file_map[idx] = None;
                 // Deleting an under-replicated file can empty the degraded
                 // set: the availability clock must see that transition.
@@ -1126,6 +1216,15 @@ impl<'t> ClusterSim<'t> {
     }
 }
 
+/// Bytes a degraded erasure-coded read actually moves: `penalty × size`,
+/// rounded **up**. The old `as u64` cast truncated toward zero, which let
+/// an amplified read carry fewer bytes than its nominal amplification (and,
+/// for sub-byte products, fewer than a naive reading of the model implies).
+/// Ceiling keeps the invariant `amplified >= size` for any penalty ≥ 1.
+fn amplified_read_bytes(size: ByteSize, penalty: f64) -> ByteSize {
+    ByteSize::from_bytes((size.as_bytes() as f64 * penalty).ceil() as u64)
+}
+
 /// Convenience: build and run in one call.
 pub fn run_trace(cfg: SimConfig, trace: &Trace) -> RunReport {
     ClusterSim::new(cfg, trace).run()
@@ -1144,4 +1243,49 @@ pub fn run_event_trace(
     let mut report = run_trace(cfg, &trace);
     report.workload = events.name.clone();
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the truncating `as u64` cast: a 1-byte degraded read
+    /// at penalty 1.5 must carry 2 bytes (ceiling), not 1 (floor). The old
+    /// code returned 1 here — amplification silently rounded away.
+    #[test]
+    fn degraded_read_amplification_rounds_up() {
+        assert_eq!(
+            amplified_read_bytes(ByteSize::from_bytes(1), 1.5),
+            ByteSize::from_bytes(2)
+        );
+        assert_eq!(
+            amplified_read_bytes(ByteSize::from_bytes(3), 1.5),
+            ByteSize::from_bytes(5),
+            "4.5 bytes of traffic round up to 5"
+        );
+        // Integral products are exact — which is why the pinned EC(4,2)
+        // golden digest did not move with this fix: quick-run blocks are
+        // whole mebibytes, so penalty × size never had a fractional part.
+        assert_eq!(
+            amplified_read_bytes(ByteSize::mb(128), 1.5),
+            ByteSize::mb(192)
+        );
+    }
+
+    /// The model invariant: an amplified read never carries fewer bytes
+    /// than the block itself for any penalty ≥ 1.
+    #[test]
+    fn degraded_read_amplification_never_shrinks() {
+        for bytes in [1u64, 3, 7, 1000, 128 * 1024 * 1024, u32::MAX as u64] {
+            for penalty in [1.0, 1.1, 1.5, 2.0, 3.7] {
+                let size = ByteSize::from_bytes(bytes);
+                let amplified = amplified_read_bytes(size, penalty);
+                assert!(
+                    amplified >= size,
+                    "amplified({bytes}, {penalty}) = {} < {bytes}",
+                    amplified.as_bytes()
+                );
+            }
+        }
+    }
 }

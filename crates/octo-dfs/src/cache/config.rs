@@ -1,0 +1,177 @@
+//! Block-cache configuration.
+
+use octo_common::{ByteSize, SimDuration};
+
+use super::CacheLevel;
+
+/// Configuration of the sharded L1 (memory) / L2 (SSD) block cache.
+///
+/// The default is **disabled** — a `ClusterSim` built with
+/// `CacheConfig::default()` is bit-identical to one built before the cache
+/// existed, which is what keeps every pre-cache golden digest byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Master switch. When false the simulator never constructs a cache
+    /// and the read path is untouched.
+    pub enabled: bool,
+    /// Total L1 (memory) capacity in bytes, split evenly across shards.
+    pub l1_capacity: ByteSize,
+    /// Total L2 (SSD) capacity in *charged* bytes, split evenly across
+    /// shards. With compression enabled a block charges
+    /// `ceil(size × l2_compression_ratio)` against this budget.
+    pub l2_capacity: ByteSize,
+    /// Shard count; must be a power of two. Each shard owns its own LRU
+    /// orders and frequency sketch, so one global hot key cannot serialize
+    /// the whole cache (and invalidation walks stay bounded).
+    pub shards: usize,
+    /// TinyLFU-style admission control on L1: an insert (or an L2→L1
+    /// promotion) only displaces the LRU victim when the candidate's
+    /// sketched frequency is strictly higher. When false every insert is
+    /// admitted (plain LRU).
+    pub admission: bool,
+    /// Counters per row of each shard's frequency sketch (rounded up to a
+    /// power of two). Bigger widths mean fewer collisions per aging window.
+    pub sketch_width: usize,
+    /// Charged-byte multiplier for L2 residency, modelling transparent
+    /// payload compression on the SSD level: `1.0` stores raw bytes,
+    /// `0.6` models a 40 % compression saving. Charges always round up and
+    /// never drop below one byte, so accounting stays conservative.
+    pub l2_compression_ratio: f64,
+    /// Fixed per-hit latency of an L1 lookup.
+    pub l1_latency: SimDuration,
+    /// Fixed per-hit latency of an L2 lookup.
+    pub l2_latency: SimDuration,
+    /// L1 service bandwidth in binary gigabytes per second.
+    pub l1_gbps: f64,
+    /// L2 service bandwidth in binary gigabytes per second.
+    pub l2_gbps: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: false,
+            l1_capacity: ByteSize::mb(512),
+            l2_capacity: ByteSize::gb(4),
+            shards: 8,
+            admission: true,
+            sketch_width: 1024,
+            l2_compression_ratio: 1.0,
+            l1_latency: SimDuration::from_millis(1),
+            l2_latency: SimDuration::from_millis(5),
+            l1_gbps: 12.0,
+            l2_gbps: 2.0,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An explicitly disabled cache (the default spelled out).
+    pub fn disabled() -> Self {
+        CacheConfig::default()
+    }
+
+    /// An enabled cache with the given level capacities and the remaining
+    /// knobs at their defaults.
+    pub fn enabled(l1: ByteSize, l2: ByteSize) -> Self {
+        CacheConfig {
+            enabled: true,
+            l1_capacity: l1,
+            l2_capacity: l2,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Panics unless the configuration is internally consistent. Called by
+    /// the cache constructor; the error cases are all programming mistakes,
+    /// not runtime conditions.
+    pub fn validate(&self) {
+        assert!(
+            self.shards >= 1 && self.shards.is_power_of_two(),
+            "cache shards must be a power of two, got {}",
+            self.shards
+        );
+        assert!(
+            self.l2_compression_ratio.is_finite() && self.l2_compression_ratio > 0.0,
+            "l2_compression_ratio must be a positive finite number"
+        );
+        assert!(
+            self.l1_gbps > 0.0 && self.l2_gbps > 0.0,
+            "cache service bandwidths must be positive"
+        );
+        assert!(self.sketch_width >= 1, "sketch width must be non-zero");
+    }
+
+    /// The charged L2 residency of a `bytes`-byte payload: compression is
+    /// an accounting model, so the charge rounds up and never reaches zero
+    /// for a non-empty block.
+    pub fn l2_charge(&self, bytes: ByteSize) -> ByteSize {
+        let raw = bytes.as_bytes();
+        if raw == 0 {
+            return ByteSize::ZERO;
+        }
+        let charged = (raw as f64 * self.l2_compression_ratio).ceil() as u64;
+        ByteSize::from_bytes(charged.max(1))
+    }
+
+    /// Service time of a `bytes`-byte hit at `level`: fixed per-level
+    /// latency plus the transfer at the level's bandwidth. This is what a
+    /// hit costs *instead of* a flow through the cluster bandwidth model.
+    pub fn service_time(&self, level: CacheLevel, bytes: ByteSize) -> SimDuration {
+        let (latency, gbps) = match level {
+            CacheLevel::L1 => (self.l1_latency, self.l1_gbps),
+            CacheLevel::L2 => (self.l2_latency, self.l2_gbps),
+        };
+        latency + SimDuration::from_secs_f64(bytes.as_gb_f64() / gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!CacheConfig::default().enabled);
+        CacheConfig::default().validate();
+    }
+
+    #[test]
+    fn l2_charge_rounds_up_and_never_hits_zero() {
+        let mut cfg = CacheConfig {
+            l2_compression_ratio: 0.6,
+            ..CacheConfig::default()
+        };
+        assert_eq!(
+            cfg.l2_charge(ByteSize::from_bytes(10)),
+            ByteSize::from_bytes(6)
+        );
+        assert_eq!(
+            cfg.l2_charge(ByteSize::from_bytes(1)),
+            ByteSize::from_bytes(1)
+        );
+        assert_eq!(cfg.l2_charge(ByteSize::ZERO), ByteSize::ZERO);
+        cfg.l2_compression_ratio = 1.0;
+        assert_eq!(cfg.l2_charge(ByteSize::mb(128)), ByteSize::mb(128));
+    }
+
+    #[test]
+    fn service_time_is_latency_plus_transfer() {
+        let cfg = CacheConfig::default();
+        let t = cfg.service_time(CacheLevel::L1, ByteSize::gb(12));
+        // 12 GB at 12 GB/s = 1 s, plus 1 ms latency.
+        assert_eq!(t, SimDuration::from_millis(1001));
+        let t2 = cfg.service_time(CacheLevel::L2, ByteSize::gb(2));
+        assert_eq!(t2, SimDuration::from_millis(1005));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_shards() {
+        let cfg = CacheConfig {
+            shards: 3,
+            ..CacheConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,340 @@
+//! The sharded multi-level block cache in front of the DFS read path.
+//!
+//! The paper tiers whole files; production two-tier stores additionally
+//! put a *block* cache in front of the slow tier, because read latency is
+//! dominated by block-level locality that file-granularity movement cannot
+//! capture. This module provides that cache as a self-contained, purely
+//! deterministic data structure:
+//!
+//! * **Two levels** — L1 models a memory-resident cache, L2 an SSD-resident
+//!   one. A miss fills L2 (or L1 when admitted); an L2 re-reference
+//!   promotes toward L1; L1 evictions demote into L2; L2 evictions leave
+//!   the cache. L2 residency can be charged at a compressed size
+//!   ([`CacheConfig::l2_compression_ratio`]) to model transparent payload
+//!   compression on the lower level.
+//! * **Sharding** — keys hash to one of [`CacheConfig::shards`] independent
+//!   shards, each with its own LRU orders and frequency sketch, bounding
+//!   every operation's working set (and, in a real deployment, lock scope).
+//! * **TinyLFU admission** — each shard keeps a count-min frequency
+//!   sketch (4 rows, 4-bit counters) with periodic halving; an L1 insert or
+//!   promotion only displaces the LRU victim when the candidate's recent
+//!   frequency strictly beats the victim's, so scan traffic cannot flush
+//!   the hot working set.
+//!
+//! Determinism: the cache is only ever touched from the simulator's serial
+//! event loop (never from the epoch-pool fan-out), and every structure is
+//! a pure function of the operation sequence — replaying the same lookups
+//! and inserts rebuilds bit-identical state and counters, which is what
+//! lets cache-enabled runs pin golden digests at any epoch-thread width.
+
+mod config;
+mod shard;
+mod sketch;
+mod stats;
+
+pub use config::CacheConfig;
+pub use stats::CacheStats;
+
+use octo_common::{ByteSize, FileId};
+use shard::CacheShard;
+use sketch::mix64;
+
+/// The two cache levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// Memory-resident level.
+    L1,
+    /// SSD-resident level.
+    L2,
+}
+
+/// Cache key: one block of one file, identified positionally so the key is
+/// stable across replica movement, striping, and repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockKey {
+    /// The owning file.
+    pub file: FileId,
+    /// Block position within the file (0-based).
+    pub index: u32,
+}
+
+impl BlockKey {
+    /// Builds a key.
+    pub fn new(file: FileId, index: u32) -> Self {
+        BlockKey { file, index }
+    }
+
+    /// A well-mixed 64-bit hash of the key, shared by shard selection and
+    /// the frequency sketches.
+    pub fn hash64(self) -> u64 {
+        mix64(self.file.raw() ^ mix64(0x8000_0000_0000_0000 | self.index as u64))
+    }
+}
+
+/// The sharded L1/L2 block cache. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    cfg: CacheConfig,
+    shards: Vec<CacheShard>,
+    stats: CacheStats,
+    shard_mask: u64,
+}
+
+impl BlockCache {
+    /// Builds a cache from a validated configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let shards = (0..cfg.shards).map(|_| CacheShard::new(&cfg)).collect();
+        BlockCache {
+            shard_mask: cfg.shards as u64 - 1,
+            shards,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    fn shard_of(&self, key: BlockKey) -> usize {
+        (key.hash64() & self.shard_mask) as usize
+    }
+
+    /// A read lookup for a `bytes`-byte block. Counts the access in the
+    /// owning shard's frequency sketch, bumps recency on a hit (promoting
+    /// an L2 hit toward L1 when admitted), and returns the serving level —
+    /// `None` means the caller must read through the DFS and then
+    /// [`BlockCache::insert`] the block.
+    pub fn lookup(&mut self, key: BlockKey, bytes: ByteSize) -> Option<CacheLevel> {
+        let s = self.shard_of(key);
+        self.shards[s].lookup(&self.cfg, key, bytes, &mut self.stats)
+    }
+
+    /// Fills the cache after a miss was read through the DFS: into L1 when
+    /// the admission filter allows, else into L2 at its compressed charge.
+    pub fn insert(&mut self, key: BlockKey, bytes: ByteSize) {
+        let s = self.shard_of(key);
+        self.shards[s].insert(&self.cfg, key, bytes, &mut self.stats)
+    }
+
+    /// Drops every cached block of `file` (called on file deletion, so a
+    /// recycled path can never serve stale payloads).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        for shard in &mut self.shards {
+            shard.invalidate_file(file, &mut self.stats);
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Which level currently holds `key`, if any (no recency effect).
+    pub fn level_of(&self, key: BlockKey) -> Option<CacheLevel> {
+        self.shards[self.shard_of(key)].level_of(key)
+    }
+
+    /// Blocks resident on `level` across all shards.
+    pub fn resident_blocks(&self, level: CacheLevel) -> usize {
+        self.shards.iter().map(|s| s.resident_blocks(level)).sum()
+    }
+
+    /// Charged bytes resident on `level` across all shards.
+    pub fn resident_bytes(&self, level: CacheLevel) -> ByteSize {
+        self.shards
+            .iter()
+            .map(|s| s.resident_bytes(level))
+            .fold(ByteSize::ZERO, |a, b| a + b)
+    }
+
+    /// Panics unless every shard's bookkeeping is internally consistent.
+    /// Exercised after every operation by the property tests.
+    pub fn assert_invariants(&self) {
+        for shard in &self.shards {
+            shard.assert_invariants();
+        }
+        let s = &self.stats;
+        assert!(
+            s.bytes_served_l1 + s.bytes_served_l2 <= s.bytes_requested,
+            "served more bytes than requested"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(file: u64, index: u32) -> BlockKey {
+        BlockKey::new(FileId(file), index)
+    }
+
+    /// A single-shard, admission-free config small enough to force
+    /// evictions with a handful of megabyte blocks.
+    fn tiny(l1_mb: u64, l2_mb: u64) -> CacheConfig {
+        CacheConfig {
+            enabled: true,
+            l1_capacity: ByteSize::mb(l1_mb),
+            l2_capacity: ByteSize::mb(l2_mb),
+            shards: 1,
+            admission: false,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut c = BlockCache::new(tiny(4, 8));
+        let k = key(1, 0);
+        assert_eq!(c.lookup(k, ByteSize::mb(1)), None);
+        c.insert(k, ByteSize::mb(1));
+        assert_eq!(c.lookup(k, ByteSize::mb(1)), Some(CacheLevel::L1));
+        let s = c.stats();
+        assert_eq!((s.misses, s.l1_hits, s.l1_insertions), (1, 1, 1));
+        assert_eq!(s.bytes_served_l1, ByteSize::mb(1));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn l1_eviction_demotes_to_l2_in_lru_order() {
+        let mut c = BlockCache::new(tiny(2, 8));
+        for i in 0..2 {
+            c.insert(key(1, i), ByteSize::mb(1));
+        }
+        // Freshen block 0 so block 1 is the LRU victim.
+        assert_eq!(c.lookup(key(1, 0), ByteSize::mb(1)), Some(CacheLevel::L1));
+        c.insert(key(1, 2), ByteSize::mb(1));
+        assert_eq!(c.level_of(key(1, 1)), Some(CacheLevel::L2), "LRU demoted");
+        assert_eq!(c.level_of(key(1, 0)), Some(CacheLevel::L1), "MRU kept");
+        assert_eq!(c.stats().l1_evictions, 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn l2_eviction_drops_blocks_entirely() {
+        let mut c = BlockCache::new(tiny(1, 2));
+        // L1 holds 1 MB; the rest cascade through L2 (2 MB).
+        for i in 0..5 {
+            c.insert(key(1, i), ByteSize::mb(1));
+        }
+        let s = c.stats();
+        assert!(s.l2_evictions > 0, "L2 must have overflowed");
+        assert_eq!(
+            c.resident_blocks(CacheLevel::L1) + c.resident_blocks(CacheLevel::L2),
+            3
+        );
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn admission_filter_protects_the_hot_working_set() {
+        let mut cfg = tiny(2, 8);
+        cfg.admission = true;
+        let mut c = BlockCache::new(cfg);
+        // Two hot blocks fill L1 and accrue frequency.
+        for _ in 0..5 {
+            for i in 0..2 {
+                c.lookup(key(1, i), ByteSize::mb(1));
+                c.insert(key(1, i), ByteSize::mb(1));
+            }
+        }
+        assert_eq!(c.level_of(key(1, 0)), Some(CacheLevel::L1));
+        assert_eq!(c.level_of(key(1, 1)), Some(CacheLevel::L1));
+        // A cold scan must not displace them from L1.
+        for i in 10..20 {
+            c.lookup(key(2, i), ByteSize::mb(1));
+            c.insert(key(2, i), ByteSize::mb(1));
+        }
+        assert_eq!(
+            c.level_of(key(1, 0)),
+            Some(CacheLevel::L1),
+            "hot block flushed"
+        );
+        assert_eq!(
+            c.level_of(key(1, 1)),
+            Some(CacheLevel::L1),
+            "hot block flushed"
+        );
+        assert!(
+            c.stats().admission_rejects > 0,
+            "the filter must have fired"
+        );
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn l2_compression_charges_less_than_raw() {
+        let mut cfg = tiny(1, 10);
+        cfg.l2_compression_ratio = 0.5;
+        let mut c = BlockCache::new(cfg);
+        // 1 MB L1: the second fill demotes the LRU (block 0) into L2,
+        // where it is charged at half its raw size.
+        c.insert(key(1, 0), ByteSize::mb(1));
+        c.insert(key(1, 1), ByteSize::mb(1));
+        assert_eq!(c.level_of(key(1, 1)), Some(CacheLevel::L1));
+        assert_eq!(c.level_of(key(1, 0)), Some(CacheLevel::L2));
+        assert_eq!(c.resident_bytes(CacheLevel::L2), ByteSize::kb(512));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn oversize_blocks_are_rejected_not_crashed() {
+        let mut c = BlockCache::new(tiny(1, 2));
+        c.insert(key(1, 0), ByteSize::mb(64));
+        assert_eq!(c.level_of(key(1, 0)), None);
+        assert!(c.stats().admission_rejects > 0);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_file_clears_both_levels() {
+        let mut c = BlockCache::new(tiny(2, 8));
+        for i in 0..4 {
+            c.insert(key(7, i), ByteSize::mb(1));
+        }
+        c.insert(key(8, 0), ByteSize::mb(1));
+        c.invalidate_file(FileId(7));
+        for i in 0..4 {
+            assert_eq!(c.level_of(key(7, i)), None);
+        }
+        assert!(c.level_of(key(8, 0)).is_some(), "other files untouched");
+        assert_eq!(c.stats().invalidations, 4);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1_when_admitted() {
+        let mut c = BlockCache::new(tiny(2, 8));
+        c.insert(key(1, 0), ByteSize::mb(1));
+        c.insert(key(1, 1), ByteSize::mb(1));
+        c.insert(key(1, 2), ByteSize::mb(1)); // demotes the LRU into L2
+        let demoted = (0..3)
+            .map(|i| key(1, i))
+            .find(|k| c.level_of(*k) == Some(CacheLevel::L2))
+            .expect("one block demoted");
+        assert_eq!(c.lookup(demoted, ByteSize::mb(1)), Some(CacheLevel::L2));
+        assert_eq!(
+            c.level_of(demoted),
+            Some(CacheLevel::L1),
+            "promoted on re-reference"
+        );
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn sharding_spreads_keys() {
+        let mut cfg = tiny(64, 64);
+        cfg.shards = 8;
+        let c = BlockCache::new(cfg);
+        let hit: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| c.shard_of(key(i, i as u32))).collect();
+        assert!(
+            hit.len() >= 4,
+            "64 keys landed on {} of 8 shards",
+            hit.len()
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! One cache shard: an L1 and an L2 level with per-level LRU orders, plus
+//! the shard-local frequency sketch the admission filter consults.
+//!
+//! Every mutation is driven by a single monotonically increasing sequence
+//! counter, so a shard's state is a pure function of the operation sequence
+//! applied to it — the property the determinism oracle in
+//! `tests/cache_props.rs` replays and pins.
+
+use super::sketch::FrequencySketch;
+use super::{BlockKey, CacheConfig, CacheLevel, CacheStats};
+use octo_common::{ByteSize, FileId};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Recency stamp; doubles as the key into the LRU order map.
+    seq: u64,
+    /// Uncompressed payload size.
+    raw: ByteSize,
+    /// Bytes charged against this level's capacity (raw on L1, possibly
+    /// compressed on L2).
+    charge: ByteSize,
+}
+
+/// One level of one shard: a keyed map plus an LRU order over recency
+/// stamps. `order` and `map` always agree; `used` is the sum of charges.
+#[derive(Debug, Clone, Default)]
+struct Level {
+    map: HashMap<BlockKey, Entry>,
+    order: BTreeMap<u64, BlockKey>,
+    used: ByteSize,
+    cap: ByteSize,
+}
+
+impl Level {
+    fn new(cap: ByteSize) -> Self {
+        Level {
+            cap,
+            ..Level::default()
+        }
+    }
+
+    fn contains(&self, key: BlockKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Bumps `key` to most-recently-used. Returns false when absent.
+    fn touch(&mut self, key: BlockKey, seq: u64) -> bool {
+        let Some(e) = self.map.get_mut(&key) else {
+            return false;
+        };
+        self.order.remove(&e.seq);
+        e.seq = seq;
+        self.order.insert(seq, key);
+        true
+    }
+
+    fn insert(&mut self, key: BlockKey, raw: ByteSize, charge: ByteSize, seq: u64) {
+        debug_assert!(!self.map.contains_key(&key), "insert over a resident key");
+        self.map.insert(key, Entry { seq, raw, charge });
+        self.order.insert(seq, key);
+        self.used += charge;
+    }
+
+    /// Removes `key`, returning its uncompressed size.
+    fn remove(&mut self, key: BlockKey) -> Option<ByteSize> {
+        let e = self.map.remove(&key)?;
+        self.order.remove(&e.seq);
+        self.used = self.used.saturating_sub(e.charge);
+        Some(e.raw)
+    }
+
+    /// The least-recently-used resident, if any.
+    fn peek_lru(&self) -> Option<BlockKey> {
+        self.order.values().next().copied()
+    }
+
+    /// Residents in LRU→MRU order with their charges.
+    fn lru_iter(&self) -> impl Iterator<Item = (BlockKey, ByteSize)> + '_ {
+        self.order.values().map(|k| (*k, self.map[k].charge))
+    }
+}
+
+/// One shard of the block cache.
+#[derive(Debug, Clone)]
+pub(super) struct CacheShard {
+    l1: Level,
+    l2: Level,
+    sketch: FrequencySketch,
+    seq: u64,
+}
+
+impl CacheShard {
+    pub(super) fn new(cfg: &CacheConfig) -> Self {
+        let shards = cfg.shards as u64;
+        CacheShard {
+            l1: Level::new(ByteSize::from_bytes(cfg.l1_capacity.as_bytes() / shards)),
+            l2: Level::new(ByteSize::from_bytes(cfg.l2_capacity.as_bytes() / shards)),
+            sketch: FrequencySketch::new(cfg.sketch_width),
+            seq: 0,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// A read lookup: records frequency, serves from L1 then L2 (promoting
+    /// an L2 hit into L1 when the admission filter allows), and counts the
+    /// outcome. Returns the serving level, or `None` on a miss.
+    pub(super) fn lookup(
+        &mut self,
+        cfg: &CacheConfig,
+        key: BlockKey,
+        bytes: ByteSize,
+        stats: &mut CacheStats,
+    ) -> Option<CacheLevel> {
+        stats.bytes_requested += bytes;
+        self.sketch.record(key.hash64());
+        let seq = self.next_seq();
+        if self.l1.touch(key, seq) {
+            stats.l1_hits += 1;
+            stats.bytes_served_l1 += bytes;
+            return Some(CacheLevel::L1);
+        }
+        if self.l2.contains(key) {
+            stats.l2_hits += 1;
+            stats.bytes_served_l2 += bytes;
+            let entry = self.l2.map[&key];
+            let (raw, charge) = (entry.raw, entry.charge);
+            // Pull the block out of L2 *before* attempting the promotion,
+            // so a demotion triggered by its own promotion can never evict
+            // the block being promoted.
+            self.l2.remove(key);
+            // Promote a re-referenced block toward memory; the admission
+            // filter keeps one-hit-wonders from flushing the L1 working set.
+            if self.admit_l1(cfg, key, raw, stats) {
+                let seq = self.next_seq();
+                self.l1.insert(key, raw, raw, seq);
+                stats.l1_insertions += 1;
+            } else {
+                // Rejected: back into L2 at fresh recency and the same
+                // charge (it just vacated that exact slot, so this cannot
+                // overflow) — no insertion/eviction counter noise, the
+                // block never logically left the level.
+                let seq = self.next_seq();
+                self.l2.insert(key, raw, charge, seq);
+            }
+            return Some(CacheLevel::L2);
+        }
+        stats.misses += 1;
+        None
+    }
+
+    /// A miss fill: L1 when the admission filter allows, else L2. A key
+    /// already resident is only freshened.
+    pub(super) fn insert(
+        &mut self,
+        cfg: &CacheConfig,
+        key: BlockKey,
+        bytes: ByteSize,
+        stats: &mut CacheStats,
+    ) {
+        let seq = self.next_seq();
+        if self.l1.touch(key, seq) || self.l2.touch(key, seq) {
+            return;
+        }
+        if self.admit_l1(cfg, key, bytes, stats) {
+            let seq = self.next_seq();
+            self.l1.insert(key, bytes, bytes, seq);
+            stats.l1_insertions += 1;
+        } else {
+            self.insert_l2(cfg, key, bytes, stats);
+        }
+    }
+
+    /// Decides L1 admission for a `raw`-byte candidate and, when admitted,
+    /// makes room by demoting LRU victims into L2. Two-phase: victims are
+    /// *chosen* first (rejecting the candidate the moment a victim's
+    /// sketched frequency ties or beats it), then demoted — a rejected
+    /// candidate never perturbs the cache.
+    fn admit_l1(
+        &mut self,
+        cfg: &CacheConfig,
+        key: BlockKey,
+        raw: ByteSize,
+        stats: &mut CacheStats,
+    ) -> bool {
+        let charge = raw;
+        if charge > self.l1.cap {
+            stats.admission_rejects += 1;
+            return false;
+        }
+        let mut victims: Vec<BlockKey> = Vec::new();
+        let mut freed = ByteSize::ZERO;
+        let need = self.l1.used + charge;
+        let cand_freq = cfg.admission.then(|| self.sketch.estimate(key.hash64()));
+        for (victim, vcharge) in self.l1.lru_iter() {
+            if need <= self.l1.cap + freed {
+                break;
+            }
+            if let Some(cand) = cand_freq {
+                if self.sketch.estimate(victim.hash64()) >= cand {
+                    stats.admission_rejects += 1;
+                    return false;
+                }
+            }
+            victims.push(victim);
+            freed += vcharge;
+        }
+        if need > self.l1.cap + freed {
+            // Even a full sweep cannot free enough room (shard-capacity
+            // fragmentation); treat like an oversize reject.
+            stats.admission_rejects += 1;
+            return false;
+        }
+        for victim in victims {
+            let vraw = self.l1.remove(victim).expect("victim chosen from LRU walk");
+            stats.l1_evictions += 1;
+            self.insert_l2(cfg, victim, vraw, stats);
+        }
+        true
+    }
+
+    /// Unconditional (no-admission) L2 insert of a `raw`-byte payload at
+    /// its compressed charge, evicting LRU residents to make room. Evicted
+    /// L2 blocks leave the cache for good.
+    fn insert_l2(
+        &mut self,
+        cfg: &CacheConfig,
+        key: BlockKey,
+        raw: ByteSize,
+        stats: &mut CacheStats,
+    ) {
+        let charge = cfg.l2_charge(raw);
+        if charge > self.l2.cap {
+            stats.admission_rejects += 1;
+            return;
+        }
+        while self.l2.used + charge > self.l2.cap {
+            let victim = self.l2.peek_lru().expect("used > 0 implies a resident");
+            self.l2.remove(victim);
+            stats.l2_evictions += 1;
+        }
+        let seq = self.next_seq();
+        self.l2.insert(key, raw, charge, seq);
+        stats.l2_insertions += 1;
+    }
+
+    /// Drops every resident block of `file` from both levels. Walks the
+    /// deterministic LRU orders, so removal order (and therefore state) is
+    /// reproducible.
+    pub(super) fn invalidate_file(&mut self, file: FileId, stats: &mut CacheStats) {
+        for level in [CacheLevel::L1, CacheLevel::L2] {
+            let lv = match level {
+                CacheLevel::L1 => &mut self.l1,
+                CacheLevel::L2 => &mut self.l2,
+            };
+            let doomed: Vec<BlockKey> = lv
+                .order
+                .values()
+                .filter(|k| k.file == file)
+                .copied()
+                .collect();
+            for key in doomed {
+                lv.remove(key);
+                stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Which level holds `key`, if any.
+    pub(super) fn level_of(&self, key: BlockKey) -> Option<CacheLevel> {
+        if self.l1.contains(key) {
+            Some(CacheLevel::L1)
+        } else if self.l2.contains(key) {
+            Some(CacheLevel::L2)
+        } else {
+            None
+        }
+    }
+
+    pub(super) fn resident_blocks(&self, level: CacheLevel) -> usize {
+        match level {
+            CacheLevel::L1 => self.l1.map.len(),
+            CacheLevel::L2 => self.l2.map.len(),
+        }
+    }
+
+    pub(super) fn resident_bytes(&self, level: CacheLevel) -> ByteSize {
+        match level {
+            CacheLevel::L1 => self.l1.used,
+            CacheLevel::L2 => self.l2.used,
+        }
+    }
+
+    /// Panics unless the shard's internal bookkeeping is consistent:
+    /// `map`/`order` agree, `used` is the sum of charges, capacity holds,
+    /// and no key is resident on both levels.
+    pub(super) fn assert_invariants(&self) {
+        for (name, lv) in [("l1", &self.l1), ("l2", &self.l2)] {
+            assert_eq!(lv.map.len(), lv.order.len(), "{name} map/order diverged");
+            let sum: u64 = lv.map.values().map(|e| e.charge.as_bytes()).sum();
+            assert_eq!(lv.used.as_bytes(), sum, "{name} used != sum of charges");
+            assert!(lv.used <= lv.cap, "{name} over capacity");
+            for (seq, key) in &lv.order {
+                assert_eq!(
+                    lv.map.get(key).map(|e| e.seq),
+                    Some(*seq),
+                    "{name} stale order"
+                );
+            }
+        }
+        for key in self.l1.map.keys() {
+            assert!(!self.l2.contains(*key), "{key:?} resident on both levels");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Flat counters for the block cache, summed over every shard operation.
+
+use octo_common::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative block-cache counters. All-zero (the `Default`) when the cache
+/// is disabled, so reports and transcripts can gate their cache sections on
+/// `stats != CacheStats::default()` and stay byte-identical for cache-off
+/// runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from L1 (memory).
+    pub l1_hits: u64,
+    /// Lookups served from L2 (SSD).
+    pub l2_hits: u64,
+    /// Lookups that missed both levels.
+    pub misses: u64,
+    /// Payload bytes served from L1.
+    pub bytes_served_l1: ByteSize,
+    /// Payload bytes served from L2.
+    pub bytes_served_l2: ByteSize,
+    /// Payload bytes requested across all lookups (hits + misses).
+    pub bytes_requested: ByteSize,
+    /// Blocks written into L1 (miss fills and L2 promotions).
+    pub l1_insertions: u64,
+    /// Blocks written into L2 (miss fills, rejected L1 fills, demotions).
+    pub l2_insertions: u64,
+    /// Blocks evicted from L1 (each demotes into L2).
+    pub l1_evictions: u64,
+    /// Blocks evicted from L2 (dropped from the cache entirely).
+    pub l2_evictions: u64,
+    /// L1 fills and promotions the TinyLFU admission filter rejected
+    /// (oversize blocks that cannot fit a shard count here too).
+    pub admission_rejects: u64,
+    /// Blocks removed because their file was deleted.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Fraction of lookups served from either level (block-level hit
+    /// ratio by access count). Zero when the cache never saw a lookup.
+    pub fn block_hit_ratio(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.l1_hits + self.l2_hits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of requested bytes served from L1 (byte hit ratio).
+    pub fn l1_byte_hit_ratio(&self) -> f64 {
+        self.bytes_served_l1.fraction_of(self.bytes_requested)
+    }
+
+    /// Fraction of requested bytes served from L2 (byte hit ratio).
+    pub fn l2_byte_hit_ratio(&self) -> f64 {
+        self.bytes_served_l2.fraction_of(self.bytes_requested)
+    }
+
+    /// Fraction of requested bytes served from either level.
+    pub fn byte_hit_ratio(&self) -> f64 {
+        (self.bytes_served_l1 + self.bytes_served_l2).fraction_of(self.bytes_requested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_the_empty_cache() {
+        let s = CacheStats::default();
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.block_hit_ratio(), 0.0);
+        assert_eq!(s.l1_byte_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_follow_the_counters() {
+        let s = CacheStats {
+            l1_hits: 6,
+            l2_hits: 2,
+            misses: 2,
+            bytes_served_l1: ByteSize::mb(60),
+            bytes_served_l2: ByteSize::mb(20),
+            bytes_requested: ByteSize::mb(100),
+            ..CacheStats::default()
+        };
+        assert_eq!(s.lookups(), 10);
+        assert!((s.block_hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.l1_byte_hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.l2_byte_hit_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.byte_hit_ratio() - 0.8).abs() < 1e-12);
+    }
+}

@@ -71,6 +71,38 @@ fn gf_inv(a: u8) -> u8 {
     exp[255 - log[a as usize] as usize]
 }
 
+/// A typed decode failure from [`ReedSolomon::reconstruct`].
+///
+/// Carrying the survivor count lets callers report *how far gone* a stripe
+/// is (and the DFS surface it as a lost-file record) instead of collapsing
+/// every failure into a bare `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcError {
+    /// Fewer than `need = k` shards survive: the stripe is unrecoverable
+    /// no matter which decode strategy is tried.
+    InsufficientShards {
+        /// Shards actually present.
+        have: usize,
+        /// Shards required (`k`).
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::InsufficientShards { have, need } => {
+                write!(
+                    f,
+                    "insufficient shards to reconstruct: have {have}, need {need}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
 /// Size of one shard of a `size`-byte block under EC(k, _): ceiling
 /// division, so `k` shards always cover the block.
 pub fn shard_size(size: ByteSize, k: u8) -> ByteSize {
@@ -157,17 +189,21 @@ impl ReedSolomon {
         out
     }
 
-    /// Fills every `None` slot from any `k` surviving shards. Returns
-    /// `false` (leaving the input untouched) when fewer than `k` survive.
-    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> bool {
+    /// Fills every `None` slot from any `k` surviving shards. With fewer
+    /// than `k` survivors the input is left untouched and the typed
+    /// [`EcError::InsufficientShards`] reports how many were found.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
         let n = self.k + self.m;
         assert_eq!(shards.len(), n, "need one slot per shard index");
         let have: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
         if have.len() < self.k {
-            return false;
+            return Err(EcError::InsufficientShards {
+                have: have.len(),
+                need: self.k,
+            });
         }
         if shards.iter_mut().all(|s| s.is_some()) {
-            return true;
+            return Ok(());
         }
         let len = shards[have[0]].as_ref().expect("listed as present").len();
 
@@ -252,7 +288,7 @@ impl ReedSolomon {
                 shards[self.k + j] = Some(p);
             }
         }
-        true
+        Ok(())
     }
 }
 
@@ -466,7 +502,7 @@ mod tests {
                 let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 shards[lose_a] = None;
                 shards[lose_b] = None;
-                assert!(rs.reconstruct(&mut shards), "({lose_a},{lose_b})");
+                assert_eq!(rs.reconstruct(&mut shards), Ok(()), "({lose_a},{lose_b})");
                 let rebuilt: Vec<Vec<u8>> =
                     shards.into_iter().map(|s| s.expect("filled")).collect();
                 assert_eq!(rebuilt, full, "lost ({lose_a},{lose_b})");
@@ -475,15 +511,26 @@ mod tests {
     }
 
     #[test]
-    fn more_than_m_losses_fail_cleanly() {
+    fn more_than_m_losses_fail_with_typed_error() {
         let rs = ReedSolomon::new(4, 2);
         let full = rs.encode_payload(&payload(256));
         let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
         shards[0] = None;
         shards[2] = None;
         shards[5] = None;
-        assert!(!rs.reconstruct(&mut shards), "3 losses exceed m = 2");
+        // Regression: this used to be a bare `false`, losing the survivor
+        // count callers need to classify the stripe as lost.
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(EcError::InsufficientShards { have: 3, need: 4 }),
+            "3 losses exceed m = 2"
+        );
         assert!(shards[0].is_none(), "failed reconstruct leaves input alone");
+        let err = EcError::InsufficientShards { have: 3, need: 4 };
+        assert_eq!(
+            err.to_string(),
+            "insufficient shards to reconstruct: have 3, need 4"
+        );
     }
 
     #[test]
@@ -497,8 +544,8 @@ mod tests {
             for s in shards.iter_mut().take(m as usize) {
                 *s = None;
             }
-            assert!(rs.reconstruct(&mut shards));
-            let rebuilt: Vec<Vec<u8>> = shards.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(rs.reconstruct(&mut shards), Ok(()));
+            let rebuilt: Vec<Vec<u8>> = shards.into_iter().map(|s| s.expect("filled")).collect();
             assert_eq!(rs.join_payload(&rebuilt, 509), data, "EC({k},{m})");
         }
     }

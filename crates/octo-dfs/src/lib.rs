@@ -26,6 +26,10 @@
 //!   fixed-size worker pool ([`epoch::EpochPool`]) scans shard-local read
 //!   views concurrently and returns per-shard results in shard order, so
 //!   merge-and-commit callers stay byte-identical at any thread count.
+//! * [`cache`] — a sharded L1 (memory) / L2 (SSD) block cache with
+//!   TinyLFU-style admission control, sitting in front of the read path:
+//!   hits short-circuit flow scheduling entirely, misses fall through to
+//!   the tiered (or degraded) read and fill the cache on completion.
 //! * [`ec`] — the erasure-coding layer behind the per-tier
 //!   [`config::RedundancyMode`]: a GF(256) Reed–Solomon codec plus the
 //!   stripe metadata ([`ec::StripeManager`]) tracking data/parity shard
@@ -42,6 +46,7 @@
 //! bandwidth-model flows and calls back on completion.
 
 pub mod block;
+pub mod cache;
 pub mod config;
 pub mod dfs;
 pub mod ec;
@@ -56,9 +61,10 @@ pub mod shard;
 pub mod stats;
 
 pub use block::{BlockInfo, BlockManager, Replica};
+pub use cache::{BlockCache, BlockKey, CacheConfig, CacheLevel, CacheStats};
 pub use config::{DfsConfig, RedundancyMode};
 pub use dfs::{BlockWrite, DowngradeTarget, NodeFailure, TieredDfs, WritePlan};
-pub use ec::{shard_size, ReedSolomon, ShardLoc, Stripe, StripeManager};
+pub use ec::{shard_size, EcError, ReedSolomon, ShardLoc, Stripe, StripeManager};
 pub use epoch::{EpochPool, ShardEpochPlan, ShardView};
 pub use files::{FileMeta, FileState, FileTable};
 pub use namespace::{Entry, Namespace};

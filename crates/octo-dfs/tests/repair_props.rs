@@ -900,6 +900,23 @@ fn losing_more_than_m_shard_devices_loses_the_file() {
     assert!(planner.plan_epoch(&mut dfs).is_empty());
     let lost: Vec<FileId> = dfs.lost_files().collect();
     assert_eq!(lost, vec![f], "nothing can bring the data back");
+
+    // The codec agrees with the metadata, with a *typed* error carrying
+    // the survivor count — regression for the old bool return, which
+    // could not say how far gone the stripe was.
+    let s = dfs.blocks().stripe(blk).unwrap();
+    let rs = octo_dfs::ReedSolomon::new(s.k, s.m);
+    let mut shards: Vec<Option<Vec<u8>>> = (0..s.total() as u8)
+        .map(|i| s.live_shard(i).map(|_| vec![0u8; 8]))
+        .collect();
+    assert_eq!(
+        rs.reconstruct(&mut shards),
+        Err(octo_dfs::EcError::InsufficientShards {
+            have: s.present(),
+            need: s.k as usize,
+        }),
+        "a lost stripe must decode to InsufficientShards"
+    );
 }
 
 /// The pre-EC names survive as deprecation shims and must keep answering

@@ -7,6 +7,7 @@
 //! deliberate, single-site decision (and moves every pinned digest).
 
 use octo_cluster::{FaultSummary, RunReport};
+use octo_dfs::CacheStats;
 use std::fmt::Write as _;
 
 /// FNV-1a over a byte string.
@@ -108,6 +109,29 @@ pub fn canonical_transcript(report: &RunReport) -> String {
                 writeln!(s, "recon {tier}={}", v.as_bytes()).unwrap();
             }
         }
+    }
+    if report.cache != CacheStats::default() {
+        // Cache section only when the block cache saw traffic, so every
+        // cache-off digest is bit-identical to the pre-cache baseline.
+        let c = &report.cache;
+        writeln!(
+            s,
+            "cache l1_hits={} l2_hits={} misses={} served_l1={} served_l2={} requested={} \
+             l1_ins={} l2_ins={} l1_evict={} l2_evict={} rejects={} invalidations={}",
+            c.l1_hits,
+            c.l2_hits,
+            c.misses,
+            c.bytes_served_l1.as_bytes(),
+            c.bytes_served_l2.as_bytes(),
+            c.bytes_requested.as_bytes(),
+            c.l1_insertions,
+            c.l2_insertions,
+            c.l1_evictions,
+            c.l2_evictions,
+            c.admission_rejects,
+            c.invalidations,
+        )
+        .unwrap();
     }
     s
 }

@@ -199,6 +199,14 @@ impl MatrixReport {
                                         human_bytes(sm.bytes_reconstructed)
                                     ));
                                 }
+                                // Gated on activity, so cache-off tables
+                                // render exactly as they always did.
+                                if sm.cache_l1_hits + sm.cache_l2_hits + sm.cache_misses > 0 {
+                                    cell.push_str(&format!(
+                                        " · cache={:.0}%",
+                                        sm.cache_hit_ratio * 100.0
+                                    ));
+                                }
                                 cell
                             }
                             None => "—".to_string(),

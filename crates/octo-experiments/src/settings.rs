@@ -105,6 +105,29 @@ impl ExpSettings {
         cfg
     }
 
+    /// The simulator config for a scenario with the sharded L1/L2 block
+    /// cache enabled. The quick-mode capacities (512 MB memory-level, 2 GB
+    /// SSD-level, 60 % L2 compression charge) are sized so the quick traces
+    /// generate real hits, evictions, and admission rejects — the pinned
+    /// cache digest covers all the interesting counters, not just hits.
+    /// Cache runs are their own pinned baseline, never compared
+    /// digest-for-digest against cache-off runs.
+    pub fn sim_cached(&self, scenario: Scenario) -> SimConfig {
+        let mut cfg = self.sim(scenario);
+        cfg.cache = octo_dfs::CacheConfig::enabled(
+            match self.mode {
+                Mode::Full => ByteSize::gb(4),
+                Mode::Quick => ByteSize::mb(512),
+            },
+            match self.mode {
+                Mode::Full => ByteSize::gb(16),
+                Mode::Quick => ByteSize::gb(2),
+            },
+        );
+        cfg.cache.l2_compression_ratio = 0.6;
+        cfg
+    }
+
     /// The downgrade model's class window *for offline model evaluation*.
     ///
     /// The policy itself runs the paper's 6 h window, but evaluating a 6 h

@@ -119,6 +119,29 @@ fn ec42_loses_no_more_files_than_replication3() {
     );
 }
 
+/// The pinned cache-enabled run. The vacuity guards require the quick
+/// workload to actually exercise every interesting cache path — both hit
+/// levels, misses, evictions, and admission rejects — so the digest pins a
+/// cache that is genuinely working, not an idle bystander. Its own
+/// baseline, never compared against the cache-off `lru_osa_quick` digest.
+#[test]
+fn lru_osa_cache_quick_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(
+        settings.sim_cached(Scenario::policy_pair("lru", "osa")),
+        &trace,
+    );
+    let c = &report.cache;
+    assert!(c.l1_hits > 0, "pinned cache run never hit L1");
+    assert!(c.l2_hits > 0, "pinned cache run never hit L2");
+    assert!(c.misses > 0, "pinned cache run never missed");
+    assert!(c.l2_evictions > 0, "pinned cache run never evicted");
+    assert!(c.admission_rejects > 0, "admission filter never fired");
+    assert!(c.block_hit_ratio() > 0.0 && c.byte_hit_ratio() > 0.0);
+    check("lru_osa_cache_quick", report_digest(&report));
+}
+
 #[test]
 fn xgb_xgb_quick_run_matches_golden_fixture() {
     let settings = ExpSettings::quick(3);

@@ -91,6 +91,21 @@ fn lru_osa_ec42_fault_digest_is_thread_count_invariant() {
     });
 }
 
+/// The block cache is only touched from the serial event loop, so enabling
+/// it must not perturb determinism: the cache-enabled transcript (which
+/// includes the gated cache counter section) pins to its own golden digest
+/// at every epoch-thread width.
+#[test]
+fn lru_osa_cache_quick_digest_is_thread_count_invariant() {
+    check_at_every_width("lru_osa_cache_quick", |threads| {
+        let settings = ExpSettings::quick(3);
+        let trace = settings.trace(TraceKind::Facebook);
+        let mut cfg = settings.sim_cached(Scenario::policy_pair("lru", "osa"));
+        cfg.epoch_threads = threads;
+        report_digest(&run_trace(cfg, &trace))
+    });
+}
+
 #[test]
 fn xgb_xgb_quick_digest_is_thread_count_invariant() {
     check_at_every_width("xgb_xgb_quick", |threads| {

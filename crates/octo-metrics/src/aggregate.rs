@@ -262,6 +262,7 @@ mod tests {
             sim_end: SimTime::from_secs(100),
             bytes_read_by_tier: by_tier,
             faults: octo_cluster::FaultSummary::default(),
+            cache: octo_dfs::CacheStats::default(),
         }
     }
 

@@ -50,6 +50,24 @@ pub struct RunSummary {
     pub lost_files: u64,
     /// When the last simulated event fired, seconds.
     pub sim_end_secs: f64,
+    /// Block-cache lookups served from L1 (memory). All cache counters are
+    /// zero when the cache is disabled.
+    pub cache_l1_hits: u64,
+    /// Block-cache lookups served from L2 (SSD).
+    pub cache_l2_hits: u64,
+    /// Block-cache lookups that missed both levels.
+    pub cache_misses: u64,
+    /// Blocks evicted from L1 (demoted into L2).
+    pub cache_l1_evictions: u64,
+    /// Blocks evicted from L2 (dropped from the cache).
+    pub cache_l2_evictions: u64,
+    /// L1 fills and promotions the admission filter rejected.
+    pub cache_admission_rejects: u64,
+    /// Fraction of cache lookups served from either level.
+    pub cache_hit_ratio: f64,
+    /// Fraction of looked-up bytes served from either level (block-level
+    /// byte hit ratio).
+    pub cache_byte_hit_ratio: f64,
 }
 
 impl RunSummary {
@@ -108,6 +126,14 @@ impl RunSummary {
             tasks_rerun: report.faults.tasks_rerun,
             lost_files: report.faults.lost_files,
             sim_end_secs: report.sim_end.as_secs_f64(),
+            cache_l1_hits: report.cache.l1_hits,
+            cache_l2_hits: report.cache.l2_hits,
+            cache_misses: report.cache.misses,
+            cache_l1_evictions: report.cache.l1_evictions,
+            cache_l2_evictions: report.cache.l2_evictions,
+            cache_admission_rejects: report.cache.admission_rejects,
+            cache_hit_ratio: report.cache.block_hit_ratio(),
+            cache_byte_hit_ratio: report.cache.byte_hit_ratio(),
         }
     }
 }
@@ -159,6 +185,7 @@ mod tests {
             sim_end: SimTime::from_secs(100),
             bytes_read_by_tier: [ByteSize::mb(60), ByteSize::ZERO, ByteSize::mb(40)],
             faults: FaultSummary::default(),
+            cache: octo_dfs::CacheStats::default(),
         }
     }
 
@@ -176,6 +203,33 @@ mod tests {
         assert_eq!(s.bytes_downgraded, ByteSize::mb(32).as_bytes());
         assert_eq!(s.bytes_moved, ByteSize::mb(96).as_bytes());
         assert_eq!(s.recovery_secs, None);
+        assert_eq!(s.cache_hit_ratio, 0.0, "cache-off run summarizes to zeros");
+    }
+
+    #[test]
+    fn cache_counters_flow_through() {
+        let mut r = report();
+        r.cache = octo_dfs::CacheStats {
+            l1_hits: 6,
+            l2_hits: 2,
+            misses: 2,
+            bytes_served_l1: ByteSize::mb(60),
+            bytes_served_l2: ByteSize::mb(20),
+            bytes_requested: ByteSize::mb(100),
+            l1_evictions: 3,
+            l2_evictions: 1,
+            admission_rejects: 4,
+            ..Default::default()
+        };
+        let s = RunSummary::from_report(&r);
+        assert_eq!(s.cache_l1_hits, 6);
+        assert_eq!(s.cache_l2_hits, 2);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_l1_evictions, 3);
+        assert_eq!(s.cache_l2_evictions, 1);
+        assert_eq!(s.cache_admission_rejects, 4);
+        assert!((s.cache_hit_ratio - 0.8).abs() < 1e-12);
+        assert!((s.cache_byte_hit_ratio - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn main() {
 
     shards[1] = None; // lose a data shard
     shards[4] = None; // and a parity shard
-    assert!(rs.reconstruct(&mut shards), "any 4 of 6 shards decode");
+    rs.reconstruct(&mut shards)
+        .expect("any 4 of 6 shards decode");
     let mut rebuilt = Vec::new();
     for s in shards.iter().take(4) {
         rebuilt.extend_from_slice(s.as_ref().unwrap());
