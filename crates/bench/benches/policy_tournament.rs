@@ -1,0 +1,101 @@
+//! The standing policy tournament: every registered eviction family ×
+//! the standing workload set (paper FB trace, pressured diurnal/bursty,
+//! Zipf, the ≥ 1M-client mix) × {no faults, generated crash schedule},
+//! ranked into one deterministic leaderboard. Writes the full grid to
+//! `BENCH_tournament.json` and the rendered leaderboard to
+//! `BENCH_tournament.md`.
+//!
+//! Quick mode (CI: `OCTO_BENCH_MODE=quick` or `--quick`) runs the same
+//! grid at test fidelity. The probe runs the grid **twice** — on 1 matrix
+//! worker and on 8 — and gates on:
+//!
+//! 1. byte-identical JSON and markdown across the two worker counts (the
+//!    tournament inherits the matrix harness's determinism guarantee);
+//! 2. the watermark family beating the plain LRU baseline on hit ratio,
+//!    byte hit ratio, or bytes moved on at least one `(workload, faults)`
+//!    coordinate — the heat-score family must earn its registry slot.
+//!
+//! ```text
+//! OCTO_BENCH_MODE=quick cargo bench -p bench --bench policy_tournament
+//! ```
+
+use bench::banner;
+use octo_experiments::{run_tournament, ExpSettings, TournamentReport};
+
+fn quick_mode() -> bool {
+    std::env::var("OCTO_BENCH_MODE").as_deref() == Ok("quick")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let quick = quick_mode();
+    banner(
+        "Policy tournament: {policy} x {workload} x {faults} leaderboard",
+        "motivation: ROADMAP — a standing grid every policy change re-runs, \
+         byte-identical at any matrix worker count, ranking the registry's \
+         eviction families from the paper's FB trace down to a \
+         million-client synthetic mix",
+    );
+    let settings = if quick {
+        ExpSettings::quick(3)
+    } else {
+        ExpSettings::full(3)
+    };
+
+    let t0 = std::time::Instant::now();
+    let serial = run_tournament(&settings, 1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let fanned = run_tournament(&settings, 8);
+    let fanned_secs = t1.elapsed().as_secs_f64();
+
+    // Gate 1: worker count must never influence a single cell, rank, or
+    // rendered byte.
+    assert_eq!(
+        serial.to_json(),
+        fanned.to_json(),
+        "tournament JSON diverged between 1 and 8 matrix workers"
+    );
+    assert_eq!(
+        serial.leaderboard_markdown(),
+        fanned.leaderboard_markdown(),
+        "leaderboard markdown diverged between 1 and 8 matrix workers"
+    );
+
+    // Gate 2: the heat-score family must beat plain LRU somewhere.
+    assert!(
+        serial.watermark_beats_lru(),
+        "watermark family beat LRU-OSA on no (workload, faults) coordinate"
+    );
+
+    let md = serial.leaderboard_markdown();
+    println!("{md}");
+    println!(
+        "grid: {} cells — serial {serial_secs:.2}s, 8 workers {fanned_secs:.2}s",
+        serial.matrix.cells.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"policy_tournament\",\n  \"mode\": \"{}\",\n  \
+         \"serial_secs\": {:.4},\n  \"fanout8_secs\": {:.4},\n  \
+         \"watermark_beats_lru\": {},\n  \"report\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        serial_secs,
+        fanned_secs,
+        serial.watermark_beats_lru(),
+        serial.to_json(),
+    );
+    let out = std::env::var("OCTO_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tournament.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_tournament.json");
+    let md_out = std::env::var("OCTO_BENCH_MD_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tournament.md").to_string()
+    });
+    std::fs::write(&md_out, &md).expect("write BENCH_tournament.md");
+    println!("\nwrote {out}\nwrote {md_out}");
+
+    // Keep the artifact parseable by the report type it claims to contain.
+    let reparsed = TournamentReport::from_json(&serial.to_json()).expect("self-describing JSON");
+    assert_eq!(reparsed, serial);
+}

@@ -41,6 +41,11 @@ pub struct FaultSummary {
     /// When the cluster last transitioned back to "every committed file
     /// fully replicated" (None if it never got there, or never degraded).
     pub full_replication_at: Option<SimTime>,
+    /// Outstanding repair debt at run end: bytes the repair pipeline would
+    /// still have to write to restore full redundancy (whole blocks per
+    /// missing replica, single shards per dead EC shard). Zero for a
+    /// quiesced run.
+    pub repair_debt_bytes: ByteSize,
 }
 
 impl FaultSummary {

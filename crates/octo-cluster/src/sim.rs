@@ -360,6 +360,7 @@ impl<'t> ClusterSim<'t> {
         // — replica-less and, for striped blocks, below `k` present shards
         // — is deficient), not the whole namespace.
         self.fstats.lost_files = self.dfs.lost_files().count() as u64;
+        self.fstats.repair_debt_bytes = self.dfs.repair_debt_bytes();
         RunReport {
             scenario: self.cfg.scenario.label(),
             workload: self.trace.kind.label().to_string(),

@@ -85,6 +85,11 @@ fn fault_injected_runs_complete_heal_and_stay_deterministic() {
         "the cluster healed back to full replication"
     );
     assert!(report.faults.time_to_full_replication().is_some());
+    assert_eq!(
+        report.faults.repair_debt_bytes,
+        ByteSize::ZERO,
+        "a run that quiesced back to full replication owes no repair debt"
+    );
 
     // Same trace, same schedule, same seed: bit-identical outcome.
     let again = run_trace(mk(), &trace);
@@ -164,6 +169,10 @@ fn unhealable_clusters_report_no_heal_time() {
     assert!(report.faults.last_fault_at.is_some());
     assert_eq!(report.faults.full_replication_at, None);
     assert_eq!(report.faults.time_to_full_replication(), None);
+    assert!(
+        report.faults.repair_debt_bytes > ByteSize::ZERO,
+        "a run ending mid-repair owes the missing replicas as debt"
+    );
 
     // Erasure coding: EC(4,2) stripes span 6 of 8 workers, so three
     // permanently-dead nodes leave some stripe below `k` live shards —
@@ -183,6 +192,10 @@ fn unhealable_clusters_report_no_heal_time() {
     assert!(report.faults.last_fault_at.is_some());
     assert_eq!(report.faults.full_replication_at, None);
     assert_eq!(report.faults.time_to_full_replication(), None);
+    assert!(
+        report.faults.repair_debt_bytes > ByteSize::ZERO,
+        "unreconstructable stripes still owe their dead shards as debt"
+    );
 }
 
 /// Faults also work without any tiering policy installed (plain OctopusFS):

@@ -1,5 +1,6 @@
 //! Cluster and file-system configuration.
 
+use crate::stats::HeatConfig;
 use octo_common::{ByteSize, OctoError, PerTier, Result, StorageTier};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,9 @@ pub struct DfsConfig {
     /// cold tier to `Erasure { k, m }` makes downgrades into it stripe the
     /// block instead of moving a replica.
     pub redundancy: PerTier<RedundancyMode>,
+    /// Parameters of the per-file decayed heat score the statistics
+    /// registry maintains (input to the watermark policy family).
+    pub heat: HeatConfig,
 }
 
 impl Default for DfsConfig {
@@ -76,6 +80,7 @@ impl Default for DfsConfig {
             placement_fill_limit: 0.95,
             access_history: 12,
             redundancy: PerTier::from_fn(|_| RedundancyMode::Replicated(3)),
+            heat: HeatConfig::default(),
         }
     }
 }
@@ -119,6 +124,19 @@ impl DfsConfig {
         }
         if self.access_history == 0 {
             return Err(OctoError::Config("access_history must be >= 1".into()));
+        }
+        if self.heat.half_life.is_zero() {
+            return Err(OctoError::Config("heat half_life must be non-zero".into()));
+        }
+        for (name, w) in [
+            ("read_weight", self.heat.read_weight),
+            ("write_weight", self.heat.write_weight),
+        ] {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(OctoError::Config(format!(
+                    "heat {name} must be finite and >= 0, got {w}"
+                )));
+            }
         }
         for (tier, mode) in self.redundancy.iter() {
             match *mode {
@@ -222,6 +240,9 @@ mod tests {
         assert!(bad(|c| c.nic_bandwidth_mbps = 0.0));
         assert!(bad(|c| c.placement_fill_limit = 1.5));
         assert!(bad(|c| c.access_history = 0));
+        assert!(bad(|c| c.heat.half_life = octo_common::SimDuration::ZERO));
+        assert!(bad(|c| c.heat.read_weight = f64::NAN));
+        assert!(bad(|c| c.heat.write_weight = -1.0));
         assert!(bad(
             |c| *c.tier_capacity.get_mut(StorageTier::Ssd) = ByteSize::ZERO
         ));

@@ -109,7 +109,7 @@ impl TieredDfs {
         config.validate()?;
         Ok(TieredDfs {
             nodes: NodeManager::new(&config),
-            stats: StatsRegistry::new(config.access_history),
+            stats: StatsRegistry::with_heat(config.access_history, config.heat),
             recency: RecencyIndex::new(),
             ns: Namespace::new(),
             files: FileTable::new(),
@@ -123,6 +123,12 @@ impl TieredDfs {
     /// The cluster configuration.
     pub fn config(&self) -> &DfsConfig {
         &self.config
+    }
+
+    /// The heat-score parameters the statistics registry folds under
+    /// (policies use these to decay stored heats to "now").
+    pub fn heat_config(&self) -> &crate::stats::HeatConfig {
+        self.stats.heat_config()
     }
 
     /// Mutable access to the placement policy (e.g. to restrict initial
@@ -1142,6 +1148,38 @@ impl TieredDfs {
     #[deprecated(note = "renamed to `has_under_redundant` (EC-aware)")]
     pub fn has_under_replicated(&self) -> bool {
         self.has_under_redundant()
+    }
+
+    /// Outstanding repair debt: the bytes the repair pipeline still has to
+    /// write to bring every committed file back to full redundancy. For a
+    /// replicated block each missing replica owes the whole block; for a
+    /// striped block each dead shard owes one shard. Zero exactly when the
+    /// degraded set is quiet, so a quiesced run reports no debt.
+    pub fn repair_debt_bytes(&self) -> ByteSize {
+        let target = self.config.replication as usize;
+        let mut debt = ByteSize::ZERO;
+        for f in self.blocks.degraded_files() {
+            let Some(meta) = self.files.get(f) else {
+                continue;
+            };
+            if meta.state != FileState::Complete {
+                continue;
+            }
+            for b in &meta.blocks {
+                match self.blocks.stripe(*b) {
+                    Some(s) => {
+                        let missing = s.total().saturating_sub(s.live()) as u64;
+                        debt += s.shard_size * missing;
+                    }
+                    None => {
+                        let block = self.blocks.block(*b);
+                        let missing = target.saturating_sub(block.live_replicas()) as u64;
+                        debt += block.size * missing;
+                    }
+                }
+            }
+        }
+        debt
     }
 
     /// True while `node` is up.

@@ -75,4 +75,4 @@ pub use replication::{
     BlockAction, BlockTransfer, MovementStats, RepairPlanner, Transfer, TransferId, TransferKind,
 };
 pub use shard::{shard_of, SHARD_COUNT};
-pub use stats::{AccessStats, StatsRegistry};
+pub use stats::{AccessStats, HeatConfig, StatsRegistry};

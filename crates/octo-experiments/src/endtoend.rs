@@ -68,8 +68,9 @@ pub fn main_scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// The §7.3 scenario set: all seven downgrade policies in isolation
-/// (Figure 10/11), plus plain OctopusFS for reference.
+/// The §7.3 scenario set: every registered downgrade policy in isolation
+/// (the paper's seven of Figure 10/11 plus the watermark family), with
+/// plain OctopusFS for reference.
 pub fn downgrade_scenarios() -> Vec<Scenario> {
     let mut v = vec![Scenario::OctopusFs];
     for name in octo_policies::DOWNGRADE_NAMES {
@@ -78,8 +79,9 @@ pub fn downgrade_scenarios() -> Vec<Scenario> {
     v
 }
 
-/// The §7.4 scenario set: the four upgrade policies with HDD-only initial
-/// placement (Figure 12 / Table 4).
+/// The §7.4 scenario set: every registered upgrade policy with HDD-only
+/// initial placement (the paper's four of Figure 12 / Table 4 plus the
+/// watermark family).
 pub fn upgrade_scenarios() -> Vec<Scenario> {
     octo_policies::UPGRADE_NAMES
         .iter()
@@ -118,7 +120,7 @@ mod tests {
     #[test]
     fn scenario_sets_match_paper() {
         assert_eq!(main_scenarios().len(), 5);
-        assert_eq!(downgrade_scenarios().len(), 8);
-        assert_eq!(upgrade_scenarios().len(), 4);
+        assert_eq!(downgrade_scenarios().len(), 10);
+        assert_eq!(upgrade_scenarios().len(), 6);
     }
 }

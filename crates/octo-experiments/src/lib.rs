@@ -21,6 +21,10 @@
 //!   `scale_epoch` bench (`BENCH_scale.json`), exercising the sharded DFS
 //!   tables and the committed-file rank index at namespace sizes the
 //!   paper-scale experiments never reach.
+//! * [`tournament`] — the standing policy tournament: a pinned
+//!   {policy} × {workload} × {fault-plan} grid over the matrix harness,
+//!   ranked into one deterministic markdown leaderboard
+//!   (`BENCH_tournament.json` / `BENCH_tournament.md`).
 //!
 //! The `bench` crate's cargo-bench targets call these and print
 //! paper-style rows; integration tests call them in `quick` mode to keep
@@ -34,9 +38,13 @@ pub mod model_eval;
 pub mod scalability;
 pub mod scale;
 pub mod settings;
+pub mod tournament;
 pub mod workload_stats;
 
 pub use digest::{canonical_transcript, report_digest};
 pub use matrix::{run_matrix, FaultPlan, MatrixCell, MatrixReport, MatrixSpec, MatrixWorkload};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use settings::{ExpSettings, Mode};
+pub use tournament::{
+    run_tournament, standing_spec, LeaderboardRow, TournamentReport, TOURNAMENT_POLICIES,
+};

@@ -142,6 +142,31 @@ fn lru_osa_cache_quick_run_matches_golden_fixture() {
     check("lru_osa_cache_quick", report_digest(&report));
 }
 
+/// The pinned heat-score watermark run. The vacuity guard requires the
+/// policy to have actually moved bytes in both directions — hot files
+/// promoted, cold-band files demoted — so the digest pins working
+/// watermark machinery, not a policy that never fired.
+#[test]
+fn watermark_osa_quick_run_matches_golden_fixture() {
+    let settings = ExpSettings::quick(3);
+    let trace = settings.trace(TraceKind::Facebook);
+    let report = run_trace(
+        settings.sim(Scenario::policy_pair("watermark", "osa")),
+        &trace,
+    );
+    let up: u64 = octo_common::StorageTier::ALL
+        .iter()
+        .map(|&t| report.movement.upgraded_to.get(t).as_bytes())
+        .sum();
+    let down: u64 = octo_common::StorageTier::ALL
+        .iter()
+        .map(|&t| report.movement.downgraded_to.get(t).as_bytes())
+        .sum();
+    assert!(up > 0, "pinned watermark run never promoted a file");
+    assert!(down > 0, "pinned watermark run never demoted a file");
+    check("watermark_osa_quick", report_digest(&report));
+}
+
 #[test]
 fn xgb_xgb_quick_run_matches_golden_fixture() {
     let settings = ExpSettings::quick(3);

@@ -106,6 +106,20 @@ fn lru_osa_cache_quick_digest_is_thread_count_invariant() {
     });
 }
 
+/// The watermark family splits its eviction scan with `scan_phases` /
+/// `rescan_shard`; the merge must reproduce the serial victim order — and
+/// with it the whole transcript — at any shard fan-out.
+#[test]
+fn watermark_osa_quick_digest_is_thread_count_invariant() {
+    check_at_every_width("watermark_osa_quick", |threads| {
+        let settings = ExpSettings::quick(3);
+        let trace = settings.trace(TraceKind::Facebook);
+        let mut cfg = settings.sim(Scenario::policy_pair("watermark", "osa"));
+        cfg.epoch_threads = threads;
+        report_digest(&run_trace(cfg, &trace))
+    });
+}
+
 #[test]
 fn xgb_xgb_quick_digest_is_thread_count_invariant() {
     check_at_every_width("xgb_xgb_quick", |threads| {

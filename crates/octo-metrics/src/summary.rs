@@ -24,6 +24,9 @@ pub struct RunSummary {
     /// Mean per-task input read latency, seconds — the "read latency"
     /// column of the matrix table.
     pub mean_read_secs: f64,
+    /// 99th-percentile per-task input read latency, seconds (the tail the
+    /// tournament leaderboard ranks).
+    pub p99_read_secs: f64,
     /// Fraction of tasks served from the memory tier (HR by access).
     pub hit_ratio: f64,
     /// Fraction of input bytes served from the memory tier (BHR).
@@ -48,6 +51,9 @@ pub struct RunSummary {
     pub tasks_rerun: u64,
     /// Files that ended the run with an unrecoverable block.
     pub lost_files: u64,
+    /// Outstanding under-redundant bytes at run end — nonzero when the run
+    /// ended mid-repair, zero for a quiesced (or fault-free) run.
+    pub repair_debt_bytes: u64,
     /// When the last simulated event fired, seconds.
     pub sim_end_secs: f64,
     /// Block-cache lookups served from L1 (memory). All cache counters are
@@ -73,14 +79,21 @@ pub struct RunSummary {
 impl RunSummary {
     /// Summarizes a run.
     pub fn from_report(report: &RunReport) -> RunSummary {
-        let mut tasks = 0usize;
-        let mut read_secs = 0.0f64;
+        let mut read_secs: Vec<f64> = Vec::new();
         for j in &report.jobs {
             for t in &j.tasks {
-                tasks += 1;
-                read_secs += t.read_secs;
+                read_secs.push(t.read_secs);
             }
         }
+        let tasks = read_secs.len();
+        let read_sum: f64 = read_secs.iter().sum();
+        read_secs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99_read_secs = if read_secs.is_empty() {
+            0.0
+        } else {
+            let idx = ((read_secs.len() as f64 * 0.99).ceil() as usize).clamp(1, read_secs.len());
+            read_secs[idx - 1]
+        };
         let hits = crate::hit_ratio_by_access(report);
         let total_read = report.total_read().as_bytes();
         let tier_read_fraction = std::array::from_fn(|i| {
@@ -109,8 +122,9 @@ impl RunSummary {
             mean_read_secs: if tasks == 0 {
                 0.0
             } else {
-                read_secs / tasks as f64
+                read_sum / tasks as f64
             },
+            p99_read_secs,
             hit_ratio: hits.hr,
             byte_hit_ratio: hits.bhr,
             tier_read_fraction,
@@ -125,6 +139,7 @@ impl RunSummary {
                 .map(|d| d.as_secs_f64()),
             tasks_rerun: report.faults.tasks_rerun,
             lost_files: report.faults.lost_files,
+            repair_debt_bytes: report.faults.repair_debt_bytes.as_bytes(),
             sim_end_secs: report.sim_end.as_secs_f64(),
             cache_l1_hits: report.cache.l1_hits,
             cache_l2_hits: report.cache.l2_hits,
@@ -196,6 +211,11 @@ mod tests {
         assert_eq!(s.jobs, 1);
         assert!((s.mean_completion_secs - 20.0).abs() < 1e-9);
         assert!((s.mean_read_secs - 1.0).abs() < 1e-9);
+        assert!(
+            (s.p99_read_secs - 1.5).abs() < 1e-9,
+            "p99 is the slowest task"
+        );
+        assert_eq!(s.repair_debt_bytes, 0, "fault-free run owes no repair debt");
         assert!((s.hit_ratio - 0.5).abs() < 1e-9);
         assert!((s.byte_hit_ratio - 0.6).abs() < 1e-9);
         assert!((s.tier_read_fraction[0] - 0.6).abs() < 1e-9);
@@ -230,6 +250,14 @@ mod tests {
         assert_eq!(s.cache_admission_rejects, 4);
         assert!((s.cache_hit_ratio - 0.8).abs() < 1e-12);
         assert!((s.cache_byte_hit_ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_debt_flows_through() {
+        let mut r = report();
+        r.faults.repair_debt_bytes = ByteSize::mb(128);
+        let s = RunSummary::from_report(&r);
+        assert_eq!(s.repair_debt_bytes, ByteSize::mb(128).as_bytes());
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct TieringConfig {
     pub xgb_upgrade_limit: ByteSize,
     /// How many files the periodic tick samples for training data (§4.2).
     pub sample_files_per_tick: usize,
+    /// Watermark family: heat at or above which a file *enters* the hot
+    /// band (upgrade-eligible, downgrade-exempt).
+    pub watermark_hot: f64,
+    /// Watermark family: heat at or below which a file *enters* the cold
+    /// band (first in the eviction order).
+    pub watermark_cold: f64,
+    /// Watermark family: relative width of the hysteresis bands. A file
+    /// leaves a band only after its heat drops below `enter × (1 − h)`, so
+    /// scores oscillating around a threshold do not thrash tiers.
+    pub watermark_hysteresis: f64,
 }
 
 impl Default for TieringConfig {
@@ -60,6 +70,9 @@ impl Default for TieringConfig {
             xgb_threshold: 0.5,
             xgb_upgrade_limit: ByteSize::gb(1),
             sample_files_per_tick: 64,
+            watermark_hot: 2.0,
+            watermark_cold: 0.75,
+            watermark_hysteresis: 0.25,
         }
     }
 }

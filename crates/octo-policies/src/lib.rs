@@ -11,9 +11,11 @@
 //! | LFU       | [`classic`] | LRFU | [`weights`] |
 //! | LRFU      | [`weights`] | EXD  | [`weights`] |
 //! | LIFE      | [`pacman`]  | XGB  | [`xgb`]     |
-//! | LFU-F     | [`pacman`]  |      |             |
-//! | EXD       | [`weights`] |      |             |
+//! | LFU-F     | [`pacman`]  | Watermark | [`watermark`] |
+//! | EXD       | [`weights`] | Hybrid    | [`watermark`] |
 //! | XGB       | [`xgb`]     |      |             |
+//! | Watermark | [`watermark`] |    |             |
+//! | Hybrid    | [`watermark`] |    |             |
 //!
 //! The [`parallel`] module holds the split form of Algorithm 1 used by
 //! [`framework::TieringEngine::run_downgrade_pooled`]: per-shard candidate
@@ -26,6 +28,7 @@ pub mod framework;
 pub mod pacman;
 pub mod parallel;
 pub mod registry;
+pub mod watermark;
 pub mod weights;
 pub mod xgb;
 
@@ -37,5 +40,9 @@ pub use framework::{
 pub use pacman::{LfuFDowngrade, LifeDowngrade};
 pub use parallel::{encode_f64, Candidate, PhasePlan, ScanBatch};
 pub use registry::{downgrade_policy, upgrade_policy, DOWNGRADE_NAMES, UPGRADE_NAMES};
+pub use watermark::{
+    Band, BandTracker, HybridDowngrade, HybridUpgrade, WatermarkDowngrade, WatermarkUpgrade,
+    Watermarks,
+};
 pub use weights::{DecayKind, ExdDowngrade, ExdUpgrade, LrfuDowngrade, LrfuUpgrade, WeightTracker};
 pub use xgb::{XgbDowngrade, XgbUpgrade, DOWNGRADE_WINDOW, UPGRADE_WINDOW};

@@ -3,15 +3,28 @@
 use crate::classic::{LfuDowngrade, LruDowngrade, OsaUpgrade};
 use crate::framework::{DowngradePolicy, TieringConfig, UpgradePolicy};
 use crate::pacman::{LfuFDowngrade, LifeDowngrade};
+use crate::watermark::{HybridDowngrade, HybridUpgrade, WatermarkDowngrade, WatermarkUpgrade};
 use crate::weights::{ExdDowngrade, ExdUpgrade, LrfuDowngrade, LrfuUpgrade};
 use crate::xgb::{XgbDowngrade, XgbUpgrade};
 use octo_access::LearnerConfig;
 
-/// All downgrade policy names, in the paper's Table 1 order.
-pub const DOWNGRADE_NAMES: [&str; 7] = ["lru", "lfu", "lrfu", "life", "lfu-f", "exd", "xgb"];
+/// All downgrade policy names: the paper's Table 1 order, then the
+/// watermark family (ROADMAP item 4).
+pub const DOWNGRADE_NAMES: [&str; 9] = [
+    "lru",
+    "lfu",
+    "lrfu",
+    "life",
+    "lfu-f",
+    "exd",
+    "xgb",
+    "watermark",
+    "hybrid",
+];
 
-/// All upgrade policy names, in the paper's Table 2 order.
-pub const UPGRADE_NAMES: [&str; 4] = ["osa", "lrfu", "exd", "xgb"];
+/// All upgrade policy names: the paper's Table 2 order, then the
+/// watermark family.
+pub const UPGRADE_NAMES: [&str; 6] = ["osa", "lrfu", "exd", "xgb", "watermark", "hybrid"];
 
 /// Builds a downgrade policy by name. `seed` feeds the XGB policy's
 /// sampling stream; others ignore it.
@@ -29,6 +42,8 @@ pub fn downgrade_policy(
         "lfu-f" => Box::new(LfuFDowngrade::new(cfg.clone())),
         "exd" => Box::new(ExdDowngrade::new(cfg.clone())),
         "xgb" => Box::new(XgbDowngrade::new(cfg.clone(), learner.clone(), seed)),
+        "watermark" => Box::new(WatermarkDowngrade::new(cfg.clone())),
+        "hybrid" => Box::new(HybridDowngrade::new(cfg.clone(), learner.clone(), seed)),
         _ => return None,
     })
 }
@@ -45,6 +60,8 @@ pub fn upgrade_policy(
         "lrfu" => Box::new(LrfuUpgrade::new(cfg.clone())),
         "exd" => Box::new(ExdUpgrade::new(cfg.clone())),
         "xgb" => Box::new(XgbUpgrade::new(cfg.clone(), learner.clone(), seed)),
+        "watermark" => Box::new(WatermarkUpgrade::new(cfg.clone())),
+        "hybrid" => Box::new(HybridUpgrade::new(cfg.clone(), learner.clone(), seed)),
         _ => return None,
     })
 }

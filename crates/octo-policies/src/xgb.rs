@@ -39,7 +39,7 @@ pub const UPGRADE_WINDOW: SimDuration = SimDuration::from_mins(30);
 /// id) the old implementation materialized per tick, and the RNG consumes
 /// the same draws — so victim sequences and model state are bit-identical
 /// while a tick costs O(n·log files) instead of O(files).
-fn sample_files(
+pub(crate) fn sample_files(
     predictor: &mut AccessPredictor,
     dfs: &TieredDfs,
     now: SimTime,

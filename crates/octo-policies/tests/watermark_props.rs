@@ -1,0 +1,193 @@
+//! Property tests for the watermark family's heat/hysteresis bookkeeping.
+//!
+//! Two invariants over arbitrary create/access/delete sequences:
+//!
+//! 1. **Incremental == from-scratch**: the heat the statistics registry
+//!    folds incrementally, and the band the [`BandTracker`] folds at
+//!    lifecycle events, are bit-identical to replaying the file's whole
+//!    event log through independent re-implementations of the fold.
+//! 2. **No thrash within an epoch**: at any single instant, the victims
+//!    the watermark downgrade schedules are never simultaneously
+//!    upgrade-admissible (hot band) — a file cannot be evicted and
+//!    re-admitted by the same epoch's frozen heat.
+
+use octo_access::LearnerConfig;
+use octo_common::{ByteSize, FileId, PerTier, SimDuration, SimTime, StorageTier};
+use octo_dfs::{DfsConfig, EpochPool, HeatConfig, TieredDfs};
+use octo_policies::{
+    downgrade_policy, upgrade_policy, Band, BandTracker, TieringConfig, TieringEngine, Watermarks,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn heat_cfg() -> HeatConfig {
+    // A short half-life so ops hours apart decay through the bands.
+    HeatConfig {
+        half_life: SimDuration::from_mins(30),
+        read_weight: 1.0,
+        write_weight: 0.5,
+    }
+}
+
+fn small_dfs() -> TieredDfs {
+    TieredDfs::new(DfsConfig {
+        workers: 3,
+        replication: 1,
+        tier_capacity: PerTier::from_fn(|t| match t {
+            StorageTier::Memory => ByteSize::gb(2),
+            StorageTier::Ssd => ByteSize::gb(8),
+            StorageTier::Hdd => ByteSize::gb(32),
+        }),
+        heat: heat_cfg(),
+        ..DfsConfig::default()
+    })
+    .expect("valid config")
+}
+
+/// Test-side reimplementation of [`Watermarks::entry`].
+fn entry_oracle(m: &Watermarks, heat: f64) -> Band {
+    if heat >= m.hot_enter {
+        Band::Hot
+    } else if heat > m.cold_enter {
+        Band::Warm
+    } else {
+        Band::Cold
+    }
+}
+
+/// Test-side reimplementation of [`Watermarks::settle`].
+fn settle_oracle(m: &Watermarks, stored: Band, heat: f64) -> Band {
+    let mut band = stored;
+    if band == Band::Hot && heat < m.hot_exit {
+        band = Band::Warm;
+    }
+    if band == Band::Warm && heat < m.cold_exit {
+        band = Band::Cold;
+    }
+    band
+}
+
+/// Replays one file's full event log from scratch: returns the raw heat
+/// after the last event and the band observed at `at`.
+fn replay(
+    cfg: &HeatConfig,
+    m: &Watermarks,
+    created: SimTime,
+    accesses: &[SimTime],
+    at: SimTime,
+) -> (f64, Band) {
+    let mut heat = cfg.write_weight;
+    let mut last = created;
+    let mut band = entry_oracle(m, heat);
+    for &t in accesses {
+        let trough = heat * cfg.decay(t.duration_since(last));
+        band = settle_oracle(m, band, trough);
+        heat = cfg.read_weight + trough;
+        band = band.max(entry_oracle(m, heat));
+        last = t;
+    }
+    let now_heat = heat * cfg.decay(at.duration_since(last));
+    (heat, settle_oracle(m, band, now_heat))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn incremental_heat_and_bands_match_replay(
+        ops in proptest::collection::vec((0u8..10, 0u64..7_200_000, 0u64..5), 1..120)
+    ) {
+        let tiering = TieringConfig {
+            start_threshold: 0.0,
+            stop_threshold: 0.0,
+            ..TieringConfig::default()
+        };
+        let marks = Watermarks::from_config(&tiering);
+        let learner = LearnerConfig::default();
+        let mut dfs = small_dfs();
+        let mut engine = TieringEngine::new(
+            Some(downgrade_policy("watermark", &tiering, &learner, 7).unwrap()),
+            Some(upgrade_policy("watermark", &tiering, &learner, 7).unwrap()),
+        );
+        // Mirror of the policies' internal band state, fed the same events.
+        let mut tracker = BandTracker::new(marks);
+        // Event log per file: (created, accesses), the replay oracle input.
+        let mut log: BTreeMap<FileId, (SimTime, Vec<SimTime>)> = BTreeMap::new();
+        let mut live: Vec<FileId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut serial = 0u64;
+
+        for (op, dt, sel) in ops {
+            now += SimDuration::from_millis(dt);
+            match op {
+                0 => {
+                    let mb = 64 + (sel % 3) * 48;
+                    let path = format!("/p/f{serial}");
+                    serial += 1;
+                    let Ok(plan) = dfs.create_file(&path, ByteSize::mb(mb), now) else {
+                        continue;
+                    };
+                    dfs.commit_file(plan.file, now).unwrap();
+                    engine.notify_created(&dfs, plan.file, now);
+                    tracker.on_created(&dfs, plan.file);
+                    log.insert(plan.file, (now, Vec::new()));
+                    live.push(plan.file);
+                }
+                9 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let f = live.remove((sel as usize) % live.len());
+                    if dfs.delete_file(f).is_ok() {
+                        engine.notify_deleted(f, now);
+                        tracker.on_deleted(f);
+                        log.remove(&f);
+                    }
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let f = live[(sel as usize) % live.len()];
+                    dfs.record_access(f, now).unwrap();
+                    engine.notify_accessed(&dfs, f, now);
+                    tracker.on_accessed(&dfs, f);
+                    log.get_mut(&f).unwrap().1.push(now);
+                }
+            }
+        }
+
+        // Observe some time after the last event so decay matters too.
+        let at = now + SimDuration::from_mins(10);
+        let cfg = *dfs.heat_config();
+
+        // Invariant 1: incremental heat and band equal the from-scratch
+        // replay for every live file, bit for bit.
+        for (&f, (created, accesses)) in &log {
+            let (heat, band) = replay(&cfg, &marks, *created, accesses, at);
+            let stats = dfs.file_stats(f).expect("live file has stats");
+            prop_assert_eq!(stats.heat_raw(), heat, "heat fold diverged for {}", f);
+            prop_assert_eq!(
+                tracker.effective(&dfs, f, at), band,
+                "band fold diverged for {}", f
+            );
+        }
+
+        // Invariant 2 (no thrash): run one full downgrade epoch at `at`.
+        // No victim may be in the hot band — the upgrade side's admission
+        // criterion — at the very instant it was evicted.
+        let planned = engine.run_downgrade_pooled(
+            &mut dfs,
+            StorageTier::Memory,
+            at,
+            &EpochPool::serial(),
+        );
+        for id in planned {
+            let victim = dfs.transfer(id).expect("in flight").file;
+            prop_assert_eq!(
+                tracker.effective(&dfs, victim, at) != Band::Hot,
+                true,
+                "epoch evicted {} while it was upgrade-admissible", victim
+            );
+        }
+    }
+}

@@ -38,5 +38,5 @@ pub use bins::SizeBin;
 pub use events::{CompileConfig, EventTrace, TraceError, TraceEvent, TraceOp};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
 pub use generator::{generate, WorkloadConfig};
-pub use synth::{synthesize, AccessPattern, SynthConfig};
+pub use synth::{synthesize, synthesize_mix, AccessPattern, MixConfig, SynthConfig};
 pub use trace::{DeleteSpec, FileSpec, JobSpec, Trace, TraceKind};

@@ -130,6 +130,91 @@ impl SynthConfig {
     pub fn heavy_tailed() -> SynthConfig {
         Self::base("zipf", AccessPattern::HeavyTailed { alpha: 1.1 })
     }
+
+    /// Rescales the file-size range so the dataset's *expected* total size
+    /// is `pressure × capacity`. Sweeping `pressure` across 1.0 moves the
+    /// working set from fits-in-tier to over-committed, which is what
+    /// separates eviction policies in a tournament. The log-uniform floor
+    /// (64 KiB per file) puts a lower bound on how far down this can scale.
+    pub fn with_tier_pressure(mut self, capacity: ByteSize, pressure: f64) -> SynthConfig {
+        let lo = self.file_size.0.as_bytes().max(64 * 1024) as f64;
+        let hi = (self.file_size.1.as_bytes() as f64).max(lo * 1.001);
+        // Mean of log-uniform on [lo, hi): (hi - lo) / ln(hi / lo).
+        let mean = (hi - lo) / (hi / lo).ln();
+        let target = capacity.as_bytes() as f64 * pressure.max(1e-6);
+        let scale = target / (mean * self.files.max(1) as f64);
+        self.file_size = (
+            ByteSize::from_bytes((lo * scale).max(64.0 * 1024.0) as u64),
+            ByteSize::from_bytes((hi * scale).max(128.0 * 1024.0) as u64),
+        );
+        self
+    }
+}
+
+/// A mix of synthetic parts merged into one trace: each part keeps its own
+/// temporal/popularity structure, its own disjoint client-id range, and its
+/// own path namespace (`/mix/<name>/p<i>/…`), so one trace can combine
+/// diurnal, bursty and Zipf populations at million-client scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// Trace name (becomes the workload label in matrix reports).
+    pub name: String,
+    /// The component traces, merged in timestamp order.
+    pub parts: Vec<SynthConfig>,
+}
+
+impl MixConfig {
+    /// Total distinct client-id space across all parts (ids are disjoint).
+    pub fn clients(&self) -> u64 {
+        self.parts.iter().map(|p| p.clients as u64).sum()
+    }
+
+    /// The standing ≥ 1M-client tournament workload: diurnal + bursty +
+    /// Zipf populations, 1.2M disjoint client ids, with enough reads per
+    /// part that every structural property test has signal.
+    pub fn million_clients() -> MixConfig {
+        let part = |cfg: SynthConfig| SynthConfig {
+            clients: 400_000,
+            files: 96,
+            reads: 480,
+            ..cfg
+        };
+        MixConfig {
+            name: "mix1m".to_string(),
+            parts: vec![
+                part(SynthConfig::diurnal()),
+                part(SynthConfig::bursty()),
+                part(SynthConfig::heavy_tailed()),
+            ],
+        }
+    }
+}
+
+/// Generates each part with a seed derived from `(seed, part index)`,
+/// offsets its client ids into a disjoint range, prefixes its paths, and
+/// merges everything into one trace. Deterministic: the same `(mix, seed)`
+/// pair yields the same trace byte-for-byte, and each part's events are
+/// bit-identical to synthesizing that part alone (modulo id offset and
+/// path prefix).
+pub fn synthesize_mix(mix: &MixConfig, seed: u64) -> EventTrace {
+    assert!(!mix.parts.is_empty(), "a mix needs at least one part");
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut client_base = 0u64;
+    for (i, part) in mix.parts.iter().enumerate() {
+        let part_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let base = u32::try_from(client_base).expect("mix client-id space exceeds u32");
+        for mut e in synthesize(part, part_seed).events {
+            e.client += base;
+            e.path = format!("/mix/{}/p{}{}", mix.name, i, e.path);
+            events.push(e);
+        }
+        client_base += part.clients as u64;
+        u32::try_from(client_base).expect("mix client-id space exceeds u32");
+    }
+    // Stable sort: same-instant events keep part order, so the merge is a
+    // pure function of the inputs.
+    events.sort_by_key(|e| e.at);
+    EventTrace::new(mix.name.clone(), events)
 }
 
 /// Log-uniform size in `[lo, hi)`.
@@ -365,6 +450,52 @@ mod tests {
         assert!(
             peak as f64 / total > 0.6,
             "peak half-cycle holds {peak} of {total} reads"
+        );
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_merges_disjoint_parts() {
+        let mix = MixConfig::million_clients();
+        let a = synthesize_mix(&mix, 11);
+        assert_eq!(
+            a,
+            synthesize_mix(&mix, 11),
+            "mix must be seed-deterministic"
+        );
+        assert_ne!(a, synthesize_mix(&mix, 12), "mix must vary with the seed");
+        // Each part occupies its own path namespace and client-id range.
+        for (i, part) in mix.parts.iter().enumerate() {
+            let prefix = format!("/mix/{}/p{i}/", mix.name);
+            let lo: u32 = mix.parts[..i].iter().map(|p| p.clients).sum();
+            let hi = lo + part.clients;
+            assert!(a
+                .events
+                .iter()
+                .filter(|e| e.path.starts_with(&prefix))
+                .all(|e| (lo..hi).contains(&e.client)));
+        }
+        assert!(
+            mix.clients() >= 1_000_000,
+            "the standing mix spans ≥ 1M client ids"
+        );
+    }
+
+    #[test]
+    fn tier_pressure_rescales_expected_dataset_size() {
+        let capacity = ByteSize::gb(4);
+        let cfg = SynthConfig::heavy_tailed().with_tier_pressure(capacity, 2.0);
+        let t = synthesize(&cfg, 2);
+        let total: u64 = t
+            .events
+            .iter()
+            .filter(|e| e.op == TraceOp::Write)
+            .map(|e| e.bytes.as_bytes())
+            .sum();
+        let target = capacity.as_bytes() as f64 * 2.0;
+        let ratio = total as f64 / target;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sampled dataset ({total} B) tracks the 2× pressure target ({target} B)"
         );
     }
 

@@ -1,0 +1,129 @@
+//! Property tests for the million-client synthetic mix generator.
+//!
+//! The tournament harness replays [`MixConfig::million_clients`] as a
+//! standing workload, so its guarantees are pinned here over arbitrary
+//! seeds, not just the one the leaderboard happens to use:
+//!
+//! * **Seed determinism at scale**: the merged mix is byte-identical under
+//!   the same `(mix, seed)` pair, survives a JSONL round-trip, and varies
+//!   with the seed.
+//! * **Distribution sanity**: client ids stay inside their part's disjoint
+//!   range and span the ≥ 1M id space; the Zipf part concentrates reads in
+//!   its top decile far more than the diurnal part; the diurnal part keeps
+//!   its reads phase-aligned with the peak half-cycle.
+//! * **Tier pressure is monotone**: a higher pressure factor always
+//!   synthesizes a strictly larger dataset under the same seed.
+
+use octo_common::ByteSize;
+use octo_workload::{
+    synthesize, synthesize_mix, AccessPattern, EventTrace, MixConfig, SynthConfig, TraceOp,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Fraction of reads landing on the most-read tenth of the config's files.
+fn top_decile_share(trace: &EventTrace, files: usize) -> f64 {
+    let mut counts = HashMap::<&str, usize>::new();
+    let mut total = 0usize;
+    for e in &trace.events {
+        if e.op == TraceOp::Read {
+            *counts.entry(e.path.as_str()).or_default() += 1;
+            total += 1;
+        }
+    }
+    let mut v: Vec<usize> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let top: usize = v.iter().take(files.div_ceil(10)).sum();
+    top as f64 / total.max(1) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn million_client_mix_is_seed_deterministic(seed in 0u64..1u64 << 48) {
+        let mix = MixConfig::million_clients();
+        prop_assert!(mix.clients() >= 1_000_000);
+        let a = synthesize_mix(&mix, seed);
+        prop_assert_eq!(&a, &synthesize_mix(&mix, seed));
+        prop_assert_ne!(&a, &synthesize_mix(&mix, seed.wrapping_add(1)));
+        let back = EventTrace::from_jsonl(&mix.name, &a.to_jsonl()).unwrap();
+        prop_assert_eq!(back.to_jsonl(), a.to_jsonl());
+    }
+
+    #[test]
+    fn mix_client_ids_stay_in_their_parts_range(seed in 0u64..1u64 << 48) {
+        let mix = MixConfig::million_clients();
+        let t = synthesize_mix(&mix, seed);
+        let mut seen = HashSet::new();
+        for (i, part) in mix.parts.iter().enumerate() {
+            let prefix = format!("/mix/{}/p{i}/", mix.name);
+            let lo: u32 = mix.parts[..i].iter().map(|p| p.clients).sum();
+            let hi = lo + part.clients;
+            let mut hit = false;
+            for e in t.events.iter().filter(|e| e.path.starts_with(&prefix)) {
+                prop_assert!(
+                    (lo..hi).contains(&e.client),
+                    "part {} event attributed to foreign client {}", i, e.client
+                );
+                seen.insert(e.client);
+                hit = true;
+            }
+            prop_assert!(hit, "part {} contributed no events", i);
+        }
+        // Drawing ~2k events from a 1.2M id space should collide rarely:
+        // the ids observed are almost all distinct.
+        prop_assert!(seen.len() * 10 >= t.events.len() * 9);
+    }
+
+    #[test]
+    fn zipf_part_is_heavier_and_diurnal_part_is_phase_aligned(seed in 0u64..1u64 << 48) {
+        let zipf = SynthConfig::heavy_tailed();
+        let diurnal = SynthConfig::diurnal();
+        let z = top_decile_share(&synthesize(&zipf, seed), zipf.files);
+        let d = top_decile_share(&synthesize(&diurnal, seed), diurnal.files);
+        prop_assert!(
+            z > d + 0.05,
+            "zipf top decile ({z:.3}) must dominate diurnal ({d:.3})"
+        );
+
+        let AccessPattern::Diurnal { period, .. } = diurnal.pattern else {
+            unreachable!()
+        };
+        let t = synthesize(&diurnal, seed);
+        let (mut peak, mut total) = (0usize, 0usize);
+        for e in t.events.iter().filter(|e| e.op == TraceOp::Read) {
+            let phase =
+                (e.at.as_millis() % period.as_millis()) as f64 / period.as_millis() as f64;
+            if (0.0..0.5).contains(&phase) {
+                peak += 1;
+            }
+            total += 1;
+        }
+        prop_assert!(
+            peak as f64 / total.max(1) as f64 > 0.55,
+            "peak half-cycle holds {peak}/{total} reads"
+        );
+    }
+
+    #[test]
+    fn tier_pressure_is_monotone(seed in 0u64..1u64 << 48, lo in 1u32..6, extra in 1u32..6) {
+        let capacity = ByteSize::gb(4);
+        let written = |pressure: f64| -> u64 {
+            let cfg = SynthConfig::heavy_tailed().with_tier_pressure(capacity, pressure);
+            synthesize(&cfg, seed)
+                .events
+                .iter()
+                .filter(|e| e.op == TraceOp::Write)
+                .map(|e| e.bytes.as_bytes())
+                .sum()
+        };
+        let small = written(lo as f64 * 0.5);
+        let large = written((lo + extra) as f64 * 0.5);
+        prop_assert!(
+            large > small,
+            "pressure {} wrote {} B, not more than pressure {}'s {} B",
+            (lo + extra) as f64 * 0.5, large, lo as f64 * 0.5, small
+        );
+    }
+}

@@ -49,8 +49,8 @@ fn facade_reexports_every_crate() {
     assert!(!trace.jobs.is_empty());
 
     // policies
-    assert_eq!(octopuspp::policies::DOWNGRADE_NAMES.len(), 7);
-    assert_eq!(octopuspp::policies::UPGRADE_NAMES.len(), 4);
+    assert_eq!(octopuspp::policies::DOWNGRADE_NAMES.len(), 9);
+    assert_eq!(octopuspp::policies::UPGRADE_NAMES.len(), 6);
 
     // metrics
     let cdf = octopuspp::metrics::Cdf::new(vec![1.0, 2.0, 3.0]);
