@@ -1,0 +1,27 @@
+//! A real local-directory [`StorageBackend`]: tiers as root directories.
+//!
+//! This is the half of ROADMAP item 2 that leaves the simulation: each
+//! storage tier maps to a root directory on the local filesystem
+//! (`mem/`, `ssd/`, `hdd/` — in production, mount points of the actual
+//! devices), a file's tier is the root it lives under, and a move is a
+//! real `copy → verify → delete` of its payload between roots. Access
+//! statistics persist in a JSON sidecar under a state directory so heat
+//! survives process restarts, and the backend's logical clock is the
+//! newest recorded access — never the wall clock — so planning an
+//! unchanged tree twice is byte-identical.
+//!
+//! Crash-safety ordering, everywhere:
+//!
+//! * copies write to a dot-prefixed temp name and `rename(2)` into place,
+//!   so a partially-written destination is never visible (listings skip
+//!   dotfiles);
+//! * the sidecar saves the same way;
+//! * deletes refuse to remove the last readable copy.
+//!
+//! [`StorageBackend`]: octo_dfs::backend::StorageBackend
+
+mod fs;
+mod sidecar;
+
+pub use fs::{FsBackend, FsBackendConfig};
+pub use sidecar::{SidecarEntry, StatsSidecar};

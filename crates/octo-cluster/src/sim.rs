@@ -241,6 +241,10 @@ pub struct ClusterSim<'t> {
 impl<'t> ClusterSim<'t> {
     /// Builds a simulator over `trace`.
     pub fn new(cfg: SimConfig, trace: &'t Trace) -> Self {
+        // Reject bad cache parameters at sim start — a >1 or non-finite
+        // compression ratio or a zero-byte per-shard capacity would only
+        // surface later as silently wrong L2 charges.
+        cfg.cache.validate().expect("valid cache config");
         let mut dfs = TieredDfs::new(cfg.dfs.clone()).expect("valid DFS config");
         cfg.scenario.configure_dfs(&mut dfs);
         let engine = cfg

@@ -1,6 +1,6 @@
 //! Block-cache configuration.
 
-use octo_common::{ByteSize, SimDuration};
+use octo_common::{ByteSize, OctoError, Result, SimDuration};
 
 use super::CacheLevel;
 
@@ -82,24 +82,55 @@ impl CacheConfig {
         }
     }
 
-    /// Panics unless the configuration is internally consistent. Called by
-    /// the cache constructor; the error cases are all programming mistakes,
-    /// not runtime conditions.
-    pub fn validate(&self) {
-        assert!(
-            self.shards >= 1 && self.shards.is_power_of_two(),
-            "cache shards must be a power of two, got {}",
-            self.shards
-        );
-        assert!(
-            self.l2_compression_ratio.is_finite() && self.l2_compression_ratio > 0.0,
-            "l2_compression_ratio must be a positive finite number"
-        );
-        assert!(
-            self.l1_gbps > 0.0 && self.l2_gbps > 0.0,
-            "cache service bandwidths must be positive"
-        );
-        assert!(self.sketch_width >= 1, "sketch width must be non-zero");
+    /// Validates the configuration, returning the first problem found
+    /// (same contract as `DfsConfig::validate`). Checked at simulator
+    /// construction — *before* any cache charge is computed — so a
+    /// non-finite or >1 compression ratio or a zero-byte per-shard
+    /// capacity is rejected up front instead of silently mischarging L2.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards < 1 || !self.shards.is_power_of_two() {
+            return Err(OctoError::Config(format!(
+                "cache shards must be a power of two, got {}",
+                self.shards
+            )));
+        }
+        if !(self.l2_compression_ratio.is_finite()
+            && self.l2_compression_ratio > 0.0
+            && self.l2_compression_ratio <= 1.0)
+        {
+            return Err(OctoError::Config(format!(
+                "l2_compression_ratio must be in (0, 1], got {}",
+                self.l2_compression_ratio
+            )));
+        }
+        if !(self.l1_gbps.is_finite()
+            && self.l1_gbps > 0.0
+            && self.l2_gbps.is_finite()
+            && self.l2_gbps > 0.0)
+        {
+            return Err(OctoError::Config(
+                "cache service bandwidths must be positive and finite".into(),
+            ));
+        }
+        if self.sketch_width < 1 {
+            return Err(OctoError::Config("sketch width must be non-zero".into()));
+        }
+        if self.enabled {
+            // Capacities are split evenly across shards; a level whose
+            // per-shard slice rounds to zero bytes could never admit a
+            // block and would evict everything it touches.
+            for (level, cap) in [("L1", self.l1_capacity), ("L2", self.l2_capacity)] {
+                if cap.as_bytes() / self.shards as u64 == 0 {
+                    return Err(OctoError::Config(format!(
+                        "cache {level} capacity {} splits to zero bytes per \
+                         shard across {} shards",
+                        cap.as_bytes(),
+                        self.shards
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The charged L2 residency of a `bytes`-byte payload: compression is
@@ -133,7 +164,7 @@ mod tests {
     #[test]
     fn default_is_disabled() {
         assert!(!CacheConfig::default().enabled);
-        CacheConfig::default().validate();
+        assert!(CacheConfig::default().validate().is_ok());
     }
 
     #[test]
@@ -166,12 +197,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_shards() {
         let cfg = CacheConfig {
             shards: 3,
             ..CacheConfig::default()
         };
-        cfg.validate();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_compression_ratios() {
+        // Each of these would mischarge L2 (or divide by NaN) if allowed
+        // through to `l2_charge`.
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = CacheConfig {
+                l2_compression_ratio: bad,
+                ..CacheConfig::default()
+            };
+            let err = cfg.validate().expect_err("ratio must be rejected");
+            assert_eq!(err.kind(), "config", "ratio {bad} -> {err}");
+        }
+        // The boundary 1.0 (no compression) is valid.
+        assert!(CacheConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_byte_per_shard_capacities_when_enabled() {
+        // 7 bytes over 8 shards rounds to zero per shard.
+        let l1_starved = CacheConfig::enabled(ByteSize::from_bytes(7), ByteSize::gb(4));
+        assert!(l1_starved.validate().is_err());
+        let l2_starved = CacheConfig::enabled(ByteSize::mb(512), ByteSize::ZERO);
+        assert!(l2_starved.validate().is_err());
+        // A *disabled* cache never charges, so its capacities are not
+        // constrained (the default must keep validating for every
+        // pre-cache golden config).
+        let disabled = CacheConfig {
+            l1_capacity: ByteSize::ZERO,
+            ..CacheConfig::default()
+        };
+        assert!(disabled.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_non_positive_bandwidths_and_zero_sketch() {
+        let bad_bw = CacheConfig {
+            l2_gbps: 0.0,
+            ..CacheConfig::default()
+        };
+        assert!(bad_bw.validate().is_err());
+        let nan_bw = CacheConfig {
+            l1_gbps: f64::NAN,
+            ..CacheConfig::default()
+        };
+        assert!(nan_bw.validate().is_err());
+        let no_sketch = CacheConfig {
+            sketch_width: 0,
+            ..CacheConfig::default()
+        };
+        assert!(no_sketch.validate().is_err());
     }
 }

@@ -82,8 +82,12 @@ pub struct BlockCache {
 
 impl BlockCache {
     /// Builds a cache from a validated configuration.
+    ///
+    /// Panics on an invalid configuration: the simulator validates at
+    /// construction time (`ClusterSim::new`), so reaching this constructor
+    /// with a bad config is a programming mistake, not a runtime condition.
     pub fn new(cfg: CacheConfig) -> Self {
-        cfg.validate();
+        cfg.validate().expect("valid cache config");
         let shards = (0..cfg.shards).map(|_| CacheShard::new(&cfg)).collect();
         BlockCache {
             shard_mask: cfg.shards as u64 - 1,

@@ -45,6 +45,7 @@
 //! performs no I/O; the `octo-cluster` crate turns transfer plans into
 //! bandwidth-model flows and calls back on completion.
 
+pub mod backend;
 pub mod block;
 pub mod cache;
 pub mod config;
@@ -60,6 +61,7 @@ pub mod replication;
 pub mod shard;
 pub mod stats;
 
+pub use backend::{tier_status_table, FileRecord, SimBackend, StorageBackend, TierStatus};
 pub use block::{BlockInfo, BlockManager, Replica};
 pub use cache::{BlockCache, BlockKey, CacheConfig, CacheLevel, CacheStats};
 pub use config::{DfsConfig, RedundancyMode};

@@ -34,14 +34,24 @@ impl Cdf {
         self.sorted.partition_point(|v| *v <= x) as f64 / self.sorted.len() as f64
     }
 
-    /// The q-quantile (q in `[0, 1]`).
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// The q-quantile (q in `[0, 1]`) under the **nearest-rank (ceil)**
+    /// definition: the sample at rank `max(1, ceil(q·n))` of the sorted
+    /// list. This is the workspace-wide quantile definition —
+    /// `RunSummary::from_report` computes `p99_read_secs` through this
+    /// exact method, so a `Cdf` built from the same samples always agrees
+    /// with the summary column.
+    ///
+    /// Returns `None` on an empty CDF instead of a NaN that would silently
+    /// poison serialized JSON artifacts (the JSON shim prints non-finite
+    /// floats as `null`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if self.sorted.is_empty() {
-            return f64::NAN;
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
         }
-        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
-        self.sorted[idx.min(self.sorted.len() - 1)]
+        let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
     }
 
     /// `(x, P(X<=x))` points at the given probe positions (for plotting on
@@ -62,8 +72,21 @@ mod tests {
         assert!((cdf.probability(0.5) - 0.0).abs() < 1e-12);
         assert!((cdf.probability(2.0) - 0.5).abs() < 1e-12);
         assert!((cdf.probability(10.0) - 1.0).abs() < 1e-12);
-        assert_eq!(cdf.quantile(0.0), 1.0);
-        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(2.0), "rank ceil(0.5·4) = 2");
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank_ceil() {
+        // 10 samples: the p99 rank is ceil(9.9) = 10 — the maximum — and
+        // p50 is ceil(5.0) = 5, exactly as RunSummary::from_report ranks
+        // its read-latency samples.
+        let cdf = Cdf::new((1..=10).map(f64::from).collect());
+        assert_eq!(cdf.quantile(0.99), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(5.0));
+        assert_eq!(cdf.quantile(0.91), Some(10.0), "ceil(9.1) = 10");
+        assert_eq!(cdf.quantile(0.9), Some(9.0), "ceil(9.0) = 9");
     }
 
     #[test]
@@ -86,6 +109,6 @@ mod tests {
         let cdf = Cdf::new(vec![]);
         assert!(cdf.is_empty());
         assert_eq!(cdf.probability(1.0), 0.0);
-        assert!(cdf.quantile(0.5).is_nan());
+        assert_eq!(cdf.quantile(0.5), None, "no NaN leaks into artifacts");
     }
 }

@@ -87,13 +87,10 @@ impl RunSummary {
         }
         let tasks = read_secs.len();
         let read_sum: f64 = read_secs.iter().sum();
-        read_secs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        let p99_read_secs = if read_secs.is_empty() {
-            0.0
-        } else {
-            let idx = ((read_secs.len() as f64 * 0.99).ceil() as usize).clamp(1, read_secs.len());
-            read_secs[idx - 1]
-        };
+        // One quantile definition workspace-wide: `Cdf::quantile` is
+        // nearest-rank (ceil), so this column and any `Cdf` built from the
+        // same samples agree sample-for-sample.
+        let p99_read_secs = crate::Cdf::new(read_secs).quantile(0.99).unwrap_or(0.0);
         let hits = crate::hit_ratio_by_access(report);
         let total_read = report.total_read().as_bytes();
         let tier_read_fraction = std::array::from_fn(|i| {
@@ -250,6 +247,23 @@ mod tests {
         assert_eq!(s.cache_admission_rejects, 4);
         assert!((s.cache_hit_ratio - 0.8).abs() < 1e-12);
         assert!((s.cache_byte_hit_ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_agrees_with_cdf_on_the_same_samples() {
+        // The summary's p99 column and a Cdf over the identical samples
+        // must share one quantile definition (nearest-rank ceil) — this
+        // test pins the unification.
+        let r = report();
+        let s = RunSummary::from_report(&r);
+        let samples: Vec<f64> = r
+            .jobs
+            .iter()
+            .flat_map(|j| j.tasks.iter().map(|t| t.read_secs))
+            .collect();
+        let cdf = crate::Cdf::new(samples);
+        assert_eq!(Some(s.p99_read_secs), cdf.quantile(0.99));
+        assert_eq!(Some(s.p99_read_secs), cdf.quantile(1.0), "n=2: both max");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod classic;
 pub mod framework;
 pub mod pacman;
 pub mod parallel;
+pub mod plan;
 pub mod registry;
 pub mod watermark;
 pub mod weights;
@@ -39,6 +40,7 @@ pub use framework::{
 };
 pub use pacman::{LfuFDowngrade, LifeDowngrade};
 pub use parallel::{encode_f64, Candidate, PhasePlan, ScanBatch};
+pub use plan::{plan_moves, MovePlan, PlanStrategy, PlannedMove, PlannerConfig, TierPlanRow};
 pub use registry::{downgrade_policy, upgrade_policy, DOWNGRADE_NAMES, UPGRADE_NAMES};
 pub use watermark::{
     Band, BandTracker, HybridDowngrade, HybridUpgrade, WatermarkDowngrade, WatermarkUpgrade,

@@ -1,0 +1,55 @@
+//! SIGTERM/SIGINT → a shared shutdown flag, with no libc dependency.
+//!
+//! The handler does the only async-signal-safe thing possible: one atomic
+//! store into a flag that the daemon loop, the executor and the backend's
+//! copy loop all poll. Installed via the C `signal(2)` symbol directly so
+//! the offline build needs no external crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_signal(_signum: i32) {
+    if let Some(flag) = FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the handlers (idempotent) and returns the shutdown flag to
+/// share with the executor and the backend's cancel hook.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+    flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_flag() {
+        let flag = install();
+        flag.store(false, Ordering::SeqCst);
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(flag.load(Ordering::SeqCst), "flag set by the handler");
+        flag.store(false, Ordering::SeqCst); // leave global state clean
+    }
+}

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the full Octopus++ public API.
 pub use octo_access as access;
+pub use octo_backend_fs as backend_fs;
 pub use octo_cluster as cluster;
 pub use octo_common as common;
 pub use octo_dfs as dfs;
